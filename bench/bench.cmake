@@ -1,0 +1,28 @@
+# Included from the top-level CMakeLists so that ${CMAKE_BINARY_DIR}/bench
+# contains ONLY the benchmark executables (the canonical run loop is
+# `for b in build/bench/*; do $b; done`).
+find_package(benchmark REQUIRED)
+
+function(asyncdr_bench name)
+  add_executable(${name} ${ARGN})
+  target_link_libraries(${name} PRIVATE
+    asyncdr_oracle asyncdr_protocols asyncdr_adversary asyncdr_dr
+    asyncdr_sim asyncdr_common)
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/src ${CMAKE_SOURCE_DIR}/bench)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+asyncdr_bench(bench_table1 bench/bench_table1.cpp)
+asyncdr_bench(bench_crash bench/bench_crash.cpp)
+asyncdr_bench(bench_committee bench/bench_committee.cpp)
+asyncdr_bench(bench_randomized bench/bench_randomized.cpp)
+asyncdr_bench(bench_lowerbound bench/bench_lowerbound.cpp)
+asyncdr_bench(bench_qc_vs_n bench/bench_qc_vs_n.cpp)
+asyncdr_bench(bench_qc_vs_beta bench/bench_qc_vs_beta.cpp)
+asyncdr_bench(bench_decision_tree bench/bench_decision_tree.cpp)
+asyncdr_bench(bench_oracle bench/bench_oracle.cpp)
+asyncdr_bench(bench_sync_vs_async bench/bench_sync_vs_async.cpp)
+
+asyncdr_bench(bench_micro bench/bench_micro.cpp)
+target_link_libraries(bench_micro PRIVATE benchmark::benchmark)

@@ -1,0 +1,58 @@
+// Shared helpers for the benchmark/reproduction binaries: each bench prints
+// the paper artifact it regenerates, runs seeded scenarios, and renders
+// aligned tables of paper-bound vs measured values.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "protocols/bounds.hpp"
+#include "protocols/lowerbound.hpp"
+#include "protocols/runner.hpp"
+
+namespace asyncdr::bench {
+
+inline void banner(const std::string& experiment, const std::string& claim) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("%s\n", claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void section(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/// Runs the scenario `repeats` times with derived seeds; returns summaries
+/// of Q, T, M and the count of failed runs.
+struct RepeatStats {
+  Summary q, t, m;
+  std::size_t failures = 0;
+  std::size_t runs = 0;
+};
+
+template <typename ScenarioBuilder>
+RepeatStats repeat_runs(std::size_t repeats, ScenarioBuilder&& build) {
+  RepeatStats stats;
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    proto::Scenario s = build(rep);
+    const dr::RunReport report = proto::run_scenario(s);
+    ++stats.runs;
+    if (!report.ok()) {
+      ++stats.failures;
+      continue;
+    }
+    stats.q.add(static_cast<double>(report.query_complexity));
+    stats.t.add(report.time_complexity);
+    stats.m.add(static_cast<double>(report.message_complexity));
+  }
+  return stats;
+}
+
+inline std::string mean_cell(const Summary& s) {
+  return s.empty() ? "-" : Table::to_cell(s.mean());
+}
+
+}  // namespace asyncdr::bench

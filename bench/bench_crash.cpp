@@ -1,0 +1,169 @@
+// Experiments E1 (Theorem 2.3) and E2 (Theorem 2.13) — the deterministic
+// crash-fault Download protocols.
+//
+// Regenerated series:
+//   (a) Algorithm 1 (one crash): Q measured vs the exact bound
+//       ceil(n/k) + ceil(ceil(n/k)/(k-1)) across crash timings.
+//   (b) Algorithm 2: Q / T / M and phase count vs beta, against the
+//       geometric-sum bound — the paper's optimality claim
+//       Q = O(n/((1-beta)k)) for ANY beta < 1.
+//   (c) Ablation: Thm 2.13's fast-cancel ON vs OFF (time complexity).
+//   (d) Adversary comparison: silent / random / staggered / mid-broadcast.
+#include "bench_common.hpp"
+
+using namespace asyncdr;
+using namespace asyncdr::bench;
+using namespace asyncdr::proto;
+
+namespace {
+constexpr std::size_t kRepeats = 5;
+
+dr::Config cfg(std::size_t n, std::size_t k, double beta, std::uint64_t seed) {
+  return dr::Config{
+      .n = n, .k = k, .beta = beta, .message_bits = 1024, .seed = seed};
+}
+}  // namespace
+
+int main() {
+  banner("E1/E2 — deterministic crash-fault Download (Thms 2.3, 2.13)",
+         "Q optimal at n/((1-beta)k) for any beta < 1, async, deterministic");
+
+  section("E1: Algorithm 1 (single crash), n=32768, k=16");
+  {
+    Table table({"crash pattern", "Q measured", "Q bound", "T", "M", "fails"});
+    const auto c = cfg(1 << 15, 16, 1.0 / 16, 1);
+    const std::size_t bound = bounds::crash_one_q(c);
+    struct Pattern {
+      std::string name;
+      std::function<adv::CrashPlan(std::size_t rep)> plan;
+    };
+    const std::vector<Pattern> patterns{
+        {"none", [](std::size_t) { return adv::CrashPlan{}; }},
+        {"silent from start",
+         [](std::size_t rep) {
+           adv::CrashPlan p;
+           p.add_at_time(rep % 16, 0.0);
+           return p;
+         }},
+        {"mid-broadcast (3 sends)",
+         [](std::size_t rep) {
+           adv::CrashPlan p;
+           p.add_after_sends((rep * 5) % 16, 3);
+           return p;
+         }},
+        {"late (t=2.5)",
+         [](std::size_t rep) {
+           adv::CrashPlan p;
+           p.add_at_time((rep * 7) % 16, 2.5);
+           return p;
+         }},
+    };
+    for (const auto& pattern : patterns) {
+      const auto stats = repeat_runs(kRepeats, [&](std::size_t rep) {
+        Scenario s;
+        s.cfg = cfg(1 << 15, 16, 1.0 / 16, 100 + rep);
+        s.honest = make_crash_one();
+        s.crashes = pattern.plan(rep);
+        return s;
+      });
+      table.add(pattern.name, mean_cell(stats.q), bound, mean_cell(stats.t),
+                mean_cell(stats.m), stats.failures);
+    }
+    table.print();
+  }
+
+  section("E2: Algorithm 2 vs beta, n=32768, k=32, max crashes (silent)");
+  {
+    Table table({"beta", "t", "Q measured", "Q bound", "n/((1-b)k)",
+                 "T", "M", "fails"});
+    for (double beta : {0.0, 0.25, 0.5, 0.625, 0.75, 0.875, 0.9375}) {
+      const auto c = cfg(1 << 15, 32, beta, 1);
+      const auto stats = repeat_runs(kRepeats, [&](std::size_t rep) {
+        Scenario s;
+        s.cfg = cfg(1 << 15, 32, beta, 200 + rep);
+        s.honest = make_crash_multi();
+        s.crashes = adv::CrashPlan::silent_prefix(s.cfg.max_faulty());
+        return s;
+      });
+      const double ideal =
+          static_cast<double>(c.n) /
+          ((1.0 - beta) * static_cast<double>(c.k));
+      table.add(beta, c.max_faulty(), mean_cell(stats.q),
+                bounds::crash_multi_q(c), ideal, mean_cell(stats.t),
+                mean_cell(stats.m), stats.failures);
+    }
+    table.print();
+    std::printf("shape: Q grows as 1/(1-beta), stays at its bound, and is\n"
+                "far below naive (Q=%u) even at beta=0.9375.\n", 1u << 15);
+  }
+
+  section("E2 adversary styles, n=32768, k=32, beta=0.5");
+  {
+    Table table({"adversary", "Q measured", "T", "M", "phases-ish", "fails"});
+    struct Style {
+      std::string name;
+      int id;
+    };
+    for (const auto& style :
+         std::vector<Style>{{"silent prefix", 0},
+                            {"random times + partial sends", 1},
+                            {"staggered across phases", 2},
+                            {"mid-broadcast everywhere", 3}}) {
+      const auto stats = repeat_runs(kRepeats, [&](std::size_t rep) {
+        Scenario s;
+        s.cfg = cfg(1 << 15, 32, 0.5, 300 + rep);
+        s.honest = make_crash_multi();
+        Rng rng(rep * 13 + static_cast<std::uint64_t>(style.id));
+        const std::size_t t = s.cfg.max_faulty();
+        switch (style.id) {
+          case 0: s.crashes = adv::CrashPlan::silent_prefix(t); break;
+          case 1: s.crashes = adv::CrashPlan::random(s.cfg, rng, t, 10.0); break;
+          case 2: s.crashes = adv::CrashPlan::staggered(s.cfg, rng, t, 2.0); break;
+          case 3:
+            s.crashes = adv::CrashPlan::partial_broadcast(s.cfg, rng, t, 5);
+            break;
+        }
+        return s;
+      });
+      table.add(style.name, mean_cell(stats.q), mean_cell(stats.t),
+                mean_cell(stats.m), "see test diag", stats.failures);
+    }
+    table.print();
+  }
+
+  section("Ablation: Thm 2.13 fast-cancel under a quorum-throttling schedule");
+  {
+    // The adversarial schedule of Theorem 2.13's argument: stage-2 answers
+    // addressed to peer 0 crawl at the latency cap, peer 1's own stage-1
+    // answer to peer 0 is merely slow (0.9) — so peer 0, missing exactly
+    // peer 1 each phase, can either wait for the full response quorum
+    // (plain Algorithm 2) or be released the moment peer 1's late answer
+    // covers everything (fast cancel).
+    Table table({"fast_cancel", "Q", "T", "M", "fails"});
+    for (bool fast : {true, false}) {
+      const auto stats = repeat_runs(kRepeats, [&](std::size_t rep) {
+        Scenario s;
+        s.cfg = dr::Config{.n = 1 << 14, .k = 16, .beta = 0.25,
+                           .message_bits = 1024, .seed = 400 + rep};
+        s.honest = make_crash_multi({.fast_cancel = fast});
+        s.latency = [](const dr::Config&) -> std::unique_ptr<sim::LatencyPolicy> {
+          return std::make_unique<adv::CallbackLatency>(
+              [](const sim::Message& msg) -> sim::Time {
+                if (msg.to != 0) return 0.05;
+                if (sim::payload_as<crashm::Resp2>(*msg.payload)) return 1.0;
+                if (msg.from == 1) return 0.9;  // the "missing" peer's answers
+                return 0.05;
+              });
+        };
+        return s;
+      });
+      table.add(fast, mean_cell(stats.q), mean_cell(stats.t),
+                mean_cell(stats.m), stats.failures);
+    }
+    table.print();
+    std::printf("shape: identical Q; fast-cancel releases the stage-3\n"
+                "wait as soon as late answers cover it, cutting T — the\n"
+                "Theorem 2.13 refinement made visible.\n");
+  }
+  return 0;
+}

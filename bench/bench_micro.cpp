@@ -1,0 +1,124 @@
+// Experiment M1 — substrate micro-benchmarks (google-benchmark): the
+// simulation engine, the bit-vector kernels, the decision tree, and a full
+// small protocol run. These quantify the cost of the harness itself, so
+// the experiment benches' runtimes can be attributed.
+#include <benchmark/benchmark.h>
+
+#include "common/bitvec.hpp"
+#include "common/interval_set.hpp"
+#include "common/rng.hpp"
+#include "protocols/decision_tree.hpp"
+#include "protocols/runner.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace asyncdr;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::size_t sink = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      engine.schedule_at(static_cast<double>(i % 97), [&sink] { ++sink; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_BitVecPopcount(benchmark::State& state) {
+  Rng rng(1);
+  const BitVec v = BitVec::generate(static_cast<std::size_t>(state.range(0)),
+                                    [&] { return rng.flip(); });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.popcount());
+  }
+}
+BENCHMARK(BM_BitVecPopcount)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_BitVecMaskAlgebra(benchmark::State& state) {
+  Rng rng(2);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const BitVec a = BitVec::generate(n, [&] { return rng.flip(); });
+  const BitVec b = BitVec::generate(n, [&] { return rng.flip(); });
+  for (auto _ : state) {
+    BitVec c = a;
+    c.andnot_with(b);
+    benchmark::DoNotOptimize(c.is_subset_of(a));
+  }
+}
+BENCHMARK(BM_BitVecMaskAlgebra)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_IntervalSetInsertErase(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(3);
+    IntervalSet s;
+    for (int i = 0; i < state.range(0); ++i) {
+      const auto lo = static_cast<std::size_t>(rng.below(100000));
+      if (rng.flip(0.7)) {
+        s.insert(lo, lo + rng.below(50));
+      } else {
+        s.erase(lo, lo + rng.below(50));
+      }
+    }
+    benchmark::DoNotOptimize(s.count());
+  }
+}
+BENCHMARK(BM_IntervalSetInsertErase)->Arg(256)->Arg(2048);
+
+void BM_DecisionTreeBuildAndDetermine(benchmark::State& state) {
+  Rng rng(4);
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::vector<BitVec> cands;
+  std::set<std::string> seen;
+  while (cands.size() < count) {
+    const BitVec c = BitVec::generate(512, [&] { return rng.flip(); });
+    if (seen.insert(c.to_string()).second) cands.push_back(c);
+  }
+  const BitVec truth = cands[0];
+  for (auto _ : state) {
+    const proto::DecisionTree tree(cands);
+    const BitVec& winner =
+        tree.determine([&](std::size_t i) { return truth.get(i); });
+    benchmark::DoNotOptimize(winner.size());
+  }
+}
+BENCHMARK(BM_DecisionTreeBuildAndDetermine)->Arg(4)->Arg(32)->Arg(128);
+
+void BM_FullCrashProtocolRun(benchmark::State& state) {
+  for (auto _ : state) {
+    proto::Scenario s;
+    s.cfg = dr::Config{.n = 1 << 12, .k = 16, .beta = 0.5,
+                       .message_bits = 1024,
+                       .seed = static_cast<std::uint64_t>(state.iterations())};
+    s.honest = proto::make_crash_multi();
+    s.crashes = adv::CrashPlan::silent_prefix(8);
+    const auto report = proto::run_scenario(s);
+    benchmark::DoNotOptimize(report.query_complexity);
+  }
+}
+BENCHMARK(BM_FullCrashProtocolRun)->Unit(benchmark::kMillisecond);
+
+void BM_FullCommitteeRun(benchmark::State& state) {
+  for (auto _ : state) {
+    proto::Scenario s;
+    s.cfg = dr::Config{.n = 1 << 12, .k = 16, .beta = 0.25,
+                       .message_bits = 1024,
+                       .seed = static_cast<std::uint64_t>(state.iterations())};
+    s.honest = proto::make_committee();
+    s.byzantine = proto::make_silent_byz();
+    s.byz_ids = proto::pick_faulty(s.cfg, s.cfg.max_faulty());
+    const auto report = proto::run_scenario(s);
+    benchmark::DoNotOptimize(report.query_complexity);
+  }
+}
+BENCHMARK(BM_FullCommitteeRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

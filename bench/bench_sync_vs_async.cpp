@@ -1,0 +1,101 @@
+// Experiment context for Table 1's "Synchrony" column: all prior DR-model
+// work [3,4] assumed synchronous rounds; this paper is the first to go
+// asynchronous. This bench runs every protocol under a lockstep schedule
+// (all latencies exactly 1 — the synchronous round structure embedded in
+// the asynchronous model) and under adversarial asynchrony, and shows the
+// paper's point: the query complexity guarantees are UNCHANGED by the
+// schedule; only time/message costs move.
+#include "bench_common.hpp"
+
+using namespace asyncdr;
+using namespace asyncdr::bench;
+using namespace asyncdr::proto;
+
+namespace {
+
+constexpr std::size_t kRepeats = 3;
+
+struct ProtocolRow {
+  std::string name;
+  std::size_t n, k;
+  double beta;
+  PeerFactory honest;
+  PeerFactory byzantine;
+  bool crash_model;
+};
+
+std::vector<ProtocolRow> rows() {
+  return {
+      {"crash determ. (Thm 2.13)", 1 << 14, 24, 0.5, make_crash_multi(),
+       nullptr, true},
+      {"committee (Thm 3.4)", 1 << 13, 25, 0.4, make_committee(),
+       make_committee_liar(CommitteeLiarPeer::Mode::kFlipAll), false},
+      {"2-cycle rand. (Thm 3.7)", 1 << 14, 192, 0.125, make_two_cycle(1.5, 3.0),
+       make_vote_stuffer(1.5, 0), false},
+  };
+}
+
+struct ScheduleResult {
+  Summary q, t, m;
+  std::size_t fails = 0;
+};
+
+ScheduleResult run_schedule(const ProtocolRow& row, int schedule) {
+  return [&] {
+    RepeatStats stats = repeat_runs(kRepeats, [&](std::size_t rep) {
+      Scenario s;
+      s.cfg = dr::Config{.n = row.n, .k = row.k, .beta = row.beta,
+                         .message_bits = 4096, .seed = 900 + rep};
+      s.honest = row.honest;
+      const std::size_t t = s.cfg.max_faulty();
+      if (row.crash_model && t > 0) {
+        Rng rng(rep + 5);
+        s.crashes = adv::CrashPlan::random(s.cfg, rng, t, 8.0);
+      } else if (row.byzantine && t > 0) {
+        s.byzantine = row.byzantine;
+        s.byz_ids = pick_faulty(s.cfg, t, rep);
+      }
+      switch (schedule) {
+        case 0: s.latency = fixed_latency(1.0); break;          // lockstep
+        case 1: s.latency = uniform_latency(0.01, 1.0); break;  // jittered
+        case 2: s.latency = seniority_latency(); break;         // adaptive-ish
+      }
+      return s;
+    });
+    return ScheduleResult{stats.q, stats.t, stats.m, stats.failures};
+  }();
+}
+
+}  // namespace
+
+int main() {
+  banner("Sync vs async — the schedule does not move Q",
+         "lockstep (synchronous rounds) vs adversarial asynchrony, per "
+         "protocol");
+
+  for (const ProtocolRow& row : rows()) {
+    section(row.name);
+    Table table({"schedule", "Q", "T", "M", "fails"});
+    const char* names[3] = {"lockstep (sync rounds)", "jittered async",
+                            "seniority inversion"};
+    double q_min = 1e18, q_max = 0;
+    for (int schedule = 0; schedule < 3; ++schedule) {
+      const auto result = run_schedule(row, schedule);
+      table.add(names[schedule], mean_cell(result.q), mean_cell(result.t),
+                mean_cell(result.m), result.fails);
+      if (!result.q.empty()) {
+        q_min = std::min(q_min, result.q.mean());
+        q_max = std::max(q_max, result.q.mean());
+      }
+    }
+    table.print();
+    std::printf("Q spread across schedules: %.1f%%\n",
+                q_max > 0 ? 100.0 * (q_max - q_min) / q_max : 0.0);
+  }
+  std::printf(
+      "\nshape: per protocol, Q is (near-)schedule-invariant — the paper's\n"
+      "asynchronous guarantees match the synchronous special case, while T\n"
+      "reflects the schedule. That is Table 1's \"Asynchronous\" rows\n"
+      "subsuming the synchronous model.\n");
+  return 0;
+}

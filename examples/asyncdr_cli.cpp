@@ -1,0 +1,196 @@
+// asyncdr_cli — run any protocol/adversary combination from the command
+// line and print the run report. The "downstream user" tool: reproduce any
+// experiment point without writing C++.
+//
+//   asyncdr_cli --protocol crash_multi --n 65536 --k 32 --beta 0.5
+//               --adversary random --seed 7 --repeats 3
+//
+//   --protocol  naive | crash_one | crash_multi | committee |
+//               two_cycle | multi_cycle
+//   --adversary none | silent | random | staggered | partial |
+//               byz_silent | byz_liar | byz_stuff | byz_comb | byz_equiv |
+//               byz_rush | byz_garbage
+//   --latency   fixed | uniform | seniority
+//   --n --k --beta --B --seed --repeats --concentration
+//   --trace N   print the first N lines of the execution trace (rep 0)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <map>
+#include <string>
+
+#include "common/table.hpp"
+#include "protocols/bounds.hpp"
+#include "protocols/runner.hpp"
+
+namespace {
+
+using namespace asyncdr;
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr, "error: %s\nsee the header of examples/asyncdr_cli.cpp "
+               "for flags\n", msg);
+  std::exit(2);
+}
+
+struct Args {
+  std::map<std::string, std::string> kv;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  }
+  std::size_t get_size(const std::string& key, std::size_t fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback
+                          : static_cast<std::size_t>(std::stoull(it->second));
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : std::stod(it->second);
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag.rfind("--", 0) != 0) usage(("unexpected argument: " + flag).c_str());
+    if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
+    args.kv[flag.substr(2)] = argv[++i];
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  dr::Config cfg;
+  cfg.n = args.get_size("n", 1 << 14);
+  cfg.k = args.get_size("k", 32);
+  cfg.beta = args.get_double("beta", 0.25);
+  cfg.message_bits = args.get_size("B", 1024);
+  cfg.seed = args.get_size("seed", 1);
+  const std::size_t repeats = args.get_size("repeats", 1);
+  const double concentration = args.get_double("concentration", 2.0);
+
+  const std::string protocol = args.get("protocol", "crash_multi");
+  const std::string adversary = args.get("adversary", "none");
+  const std::string latency = args.get("latency", "uniform");
+
+  proto::PeerFactory honest;
+  std::size_t bound = 0;
+  if (protocol == "naive") {
+    honest = proto::make_naive();
+    bound = proto::bounds::naive_q(cfg);
+  } else if (protocol == "crash_one") {
+    honest = proto::make_crash_one();
+    bound = proto::bounds::crash_one_q(cfg);
+  } else if (protocol == "crash_multi") {
+    honest = proto::make_crash_multi();
+    bound = proto::bounds::crash_multi_q(cfg);
+  } else if (protocol == "committee") {
+    honest = proto::make_committee();
+    bound = proto::bounds::committee_q(cfg);
+  } else if (protocol == "two_cycle") {
+    honest = proto::make_two_cycle(concentration);
+    bound = proto::bounds::two_cycle_q(cfg,
+                                       proto::RandParams::derive(cfg, concentration));
+  } else if (protocol == "multi_cycle") {
+    honest = proto::make_multi_cycle(concentration);
+    bound = proto::bounds::multi_cycle_q(
+        cfg, proto::RandParams::derive(cfg, concentration));
+  } else {
+    usage(("unknown protocol: " + protocol).c_str());
+  }
+
+  Table table({"rep", "ok", "Q", "Q bound", "T", "M", "events"});
+  std::size_t failures = 0;
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    proto::Scenario s;
+    s.cfg = cfg;
+    s.cfg.seed = cfg.seed + rep;
+    s.honest = honest;
+
+    const std::size_t t = s.cfg.max_faulty();
+    Rng rng(s.cfg.seed * 31 + 5);
+    if (adversary == "none") {
+    } else if (adversary == "silent") {
+      s.crashes = adv::CrashPlan::silent_prefix(t);
+    } else if (adversary == "random") {
+      s.crashes = adv::CrashPlan::random(s.cfg, rng, t, 10.0);
+    } else if (adversary == "staggered") {
+      s.crashes = adv::CrashPlan::staggered(s.cfg, rng, t, 2.0);
+    } else if (adversary == "partial") {
+      s.crashes = adv::CrashPlan::partial_broadcast(s.cfg, rng, t, 3);
+    } else if (adversary.rfind("byz_", 0) == 0) {
+      if (adversary == "byz_silent") {
+        s.byzantine = proto::make_silent_byz();
+      } else if (adversary == "byz_liar") {
+        s.byzantine =
+            proto::make_committee_liar(proto::CommitteeLiarPeer::Mode::kFlipAll);
+      } else if (adversary == "byz_stuff") {
+        s.byzantine = proto::make_vote_stuffer(concentration, 0);
+      } else if (adversary == "byz_comb") {
+        s.byzantine = proto::make_comb_stuffer(concentration, 0);
+      } else if (adversary == "byz_equiv") {
+        s.byzantine = proto::make_equivocator(concentration);
+      } else if (adversary == "byz_rush") {
+        s.byzantine = proto::make_quorum_rusher(concentration);
+      } else if (adversary == "byz_garbage") {
+        s.byzantine = proto::make_garbage_byz();
+      } else {
+        usage(("unknown adversary: " + adversary).c_str());
+      }
+      s.byz_ids = proto::pick_faulty(s.cfg, t, rep);
+    } else {
+      usage(("unknown adversary: " + adversary).c_str());
+    }
+
+    if (latency == "fixed") {
+      s.latency = proto::fixed_latency(1.0);
+    } else if (latency == "uniform") {
+      s.latency = proto::uniform_latency(0.05, 1.0);
+    } else if (latency == "seniority") {
+      s.latency = proto::seniority_latency();
+    } else {
+      usage(("unknown latency: " + latency).c_str());
+    }
+
+    const std::size_t trace_lines = args.get_size("trace", 0);
+    dr::RunReport report;
+    if (trace_lines > 0 && rep == 0) {
+      // Tracing needs direct World access; mirror run_scenario by hand.
+      dr::World world(s.cfg, proto::random_input(s.cfg.n, s.cfg.seed));
+      sim::Trace& trace = world.enable_trace();
+      if (s.latency) world.network().set_latency_policy(s.latency(s.cfg));
+      const std::set<sim::PeerId> byz(s.byz_ids.begin(), s.byz_ids.end());
+      for (sim::PeerId id = 0; id < s.cfg.k; ++id) {
+        if (byz.contains(id)) {
+          world.set_peer(id, s.byzantine(s.cfg, id));
+          world.mark_faulty(id);
+        } else {
+          world.set_peer(id, s.honest(s.cfg, id));
+        }
+      }
+      s.crashes.apply(world);
+      report = world.run();
+      std::printf("%s", trace.render(sim::kNoPeer, trace_lines).c_str());
+    } else {
+      report = proto::run_scenario(s);
+    }
+    if (!report.ok()) ++failures;
+    table.add(rep, report.ok(), report.query_complexity, bound,
+              report.time_complexity, report.message_complexity,
+              report.events);
+  }
+
+  std::printf("%s  protocol=%s adversary=%s latency=%s\n",
+              cfg.to_string().c_str(), protocol.c_str(), adversary.c_str(),
+              latency.c_str());
+  table.print();
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+// Scenario example: a firmware-distribution cluster.
+//
+// A fleet of 24 edge nodes must replicate a 32 KiBit firmware image from a
+// metered origin server (every fetched bit costs money — the DR model's
+// expensive source). Nodes coordinate over a flaky internal network with no
+// timing guarantees, and during the rollout machines die: some silently at
+// boot, some mid-broadcast after pushing a few packets, some late.
+//
+// The example walks the same rollout through three fault intensities and
+// prints what each node paid, demonstrating the paper's headline crash
+// result: cost stays near n/((1-beta)k) no matter how hostile the timing.
+//
+//   build/examples/crash_recovery
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "protocols/bounds.hpp"
+#include "protocols/runner.hpp"
+
+int main() {
+  using namespace asyncdr;
+
+  constexpr std::size_t kImageBits = 1 << 15;
+  constexpr std::size_t kNodes = 24;
+
+  std::printf("firmware image: %zu bits, fleet: %zu nodes\n\n", kImageBits,
+              kNodes);
+
+  Table table({"failed nodes", "crash pattern", "bits fetched/node (max)",
+               "theorem bound", "origin load (total bits)", "rollout ok"});
+
+  struct Wave {
+    const char* pattern;
+    double beta;
+    int style;
+  };
+  for (const Wave& wave : {Wave{"none", 0.0, 0},
+                           Wave{"boot failures", 0.25, 1},
+                           Wave{"mid-broadcast power loss", 0.5, 2},
+                           Wave{"rolling outage", 0.75, 3}}) {
+    proto::Scenario scenario;
+    scenario.cfg = dr::Config{.n = kImageBits, .k = kNodes, .beta = wave.beta,
+                              .message_bits = 2048, .seed = 99};
+    scenario.honest = proto::make_crash_multi();
+    scenario.latency = proto::uniform_latency(0.02, 1.0);
+
+    Rng rng(17);
+    const std::size_t t = scenario.cfg.max_faulty();
+    switch (wave.style) {
+      case 0: break;
+      case 1: scenario.crashes = adv::CrashPlan::silent_prefix(t); break;
+      case 2:
+        scenario.crashes =
+            adv::CrashPlan::partial_broadcast(scenario.cfg, rng, t, 4);
+        break;
+      case 3:
+        scenario.crashes =
+            adv::CrashPlan::staggered(scenario.cfg, rng, t, 3.0);
+        break;
+    }
+
+    const dr::RunReport report = proto::run_scenario(scenario);
+    table.add(t, wave.pattern, report.query_complexity,
+              proto::bounds::crash_multi_q(scenario.cfg),
+              static_cast<std::size_t>(report.total_queries), report.ok());
+  }
+  table.print();
+
+  std::printf(
+      "\nwithout coordination every node would fetch the full %zu bits;\n"
+      "with Algorithm 2 the per-node bill stays near image/(healthy nodes)\n"
+      "even when 3/4 of the fleet dies at adversarial moments.\n",
+      kImageBits);
+  return 0;
+}

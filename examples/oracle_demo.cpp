@@ -1,0 +1,76 @@
+// Scenario example: a price-feed blockchain oracle (Section 4).
+//
+// Twelve exchanges publish a 64-cell price array; three are malicious and
+// publish garbage. A committee of 32 oracle nodes (some of them also
+// malicious) must post one array on-chain whose every cell lies within the
+// honest exchanges' range (the ODD guarantee).
+//
+// We run the collection step both ways — every node reading 2*psi*m+1 full
+// exchanges (Theorem 4.1), vs per-exchange Download among the committee
+// (Theorem 4.2) — and compare the per-node query bill and the published
+// medians.
+//
+//   build/examples/oracle_demo
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "oracle/odc.hpp"
+#include "protocols/runner.hpp"
+
+int main() {
+  using namespace asyncdr;
+
+  oracle::SourceBank::Spec spec;
+  spec.sources = 12;
+  spec.cells = 64;
+  spec.value_bits = 16;
+  spec.psi = 0.25;
+  spec.noise = 3;
+  spec.seed = 7;
+  const auto bank = oracle::SourceBank::build(spec);
+
+  std::printf("exchanges: %zu (%zu malicious), cells: %zu x %zu bits\n",
+              bank.count(), bank.byzantine_count(), spec.cells,
+              spec.value_bits);
+
+  const auto naive = oracle::run_naive_odc(bank, /*nodes=*/32);
+
+  oracle::DownloadOdcOptions options;
+  options.node_cfg = dr::Config{.n = 1, .k = 32, .beta = 0.2,
+                                .message_bits = 4096, .seed = 21};
+  options.honest = proto::make_committee();
+  options.byzantine =
+      proto::make_committee_liar(proto::CommitteeLiarPeer::Mode::kFlipAll);
+  options.byz_nodes =
+      proto::pick_faulty(options.node_cfg, options.node_cfg.max_faulty());
+
+  const auto download = oracle::run_download_odc(bank, options);
+
+  Table table({"collection scheme", "bits queried/node (max)",
+               "total bits from exchanges", "ODD satisfied", "failures"});
+  table.add("naive reads (Thm 4.1)", naive.max_node_query_bits,
+            naive.total_query_bits, naive.odd_satisfied, std::size_t{0});
+  table.add("Download-based (Thm 4.2)", download.max_node_query_bits,
+            download.total_query_bits, download.odd_satisfied,
+            download.download_failures);
+  table.print();
+
+  // Show a few published cells next to the honest range.
+  std::printf("\nsample of the published feed (download-based, node 0):\n");
+  Table feed({"cell", "published", "honest range", "in range"});
+  for (std::size_t c = 0; c < 6; ++c) {
+    const auto [lo, hi] = bank.honest_range(c);
+    const auto v = download.published.at(0).at(c);
+    feed.add(c, static_cast<long long>(v),
+             std::to_string(lo) + " .. " + std::to_string(hi),
+             v >= lo && v <= hi);
+  }
+  feed.print();
+
+  std::printf("\nimprovement: %.1fx fewer source bits per node, identical\n"
+              "ODD guarantee — Section 4's point in one table.\n",
+              static_cast<double>(naive.max_node_query_bits) /
+                  static_cast<double>(
+                      std::max<std::uint64_t>(download.max_node_query_bits, 1)));
+  return naive.ok() && download.ok() ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+#include "adversary/crash_plan.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace asyncdr::adv {
+
+void CrashPlan::add_at_time(sim::PeerId peer, sim::Time at) {
+  specs_.push_back(CrashSpec{peer, CrashSpec::Kind::kAtTime, at, 0});
+}
+
+void CrashPlan::add_after_sends(sim::PeerId peer, std::uint64_t sends) {
+  specs_.push_back(CrashSpec{peer, CrashSpec::Kind::kAfterSends, 0, sends});
+}
+
+void CrashPlan::apply(dr::World& world) const {
+  for (const CrashSpec& spec : specs_) {
+    switch (spec.kind) {
+      case CrashSpec::Kind::kAtTime:
+        world.schedule_crash_at(spec.peer, spec.at);
+        break;
+      case CrashSpec::Kind::kAfterSends:
+        world.crash_after_sends(spec.peer, spec.sends);
+        break;
+    }
+  }
+}
+
+std::string CrashPlan::to_string() const {
+  std::ostringstream os;
+  os << "CrashPlan{";
+  for (const CrashSpec& spec : specs_) {
+    os << "p" << spec.peer;
+    if (spec.kind == CrashSpec::Kind::kAtTime) {
+      os << "@t=" << spec.at << ' ';
+    } else {
+      os << "@sends=" << spec.sends << ' ';
+    }
+  }
+  os << '}';
+  return os.str();
+}
+
+CrashPlan CrashPlan::random(const dr::Config& cfg, Rng& rng, std::size_t count,
+                            sim::Time horizon, double partial_send_prob) {
+  ASYNCDR_EXPECTS(count <= cfg.max_faulty());
+  CrashPlan plan;
+  for (std::size_t victim : rng.sample_without_replacement(cfg.k, count)) {
+    if (rng.flip(partial_send_prob)) {
+      plan.add_after_sends(victim, rng.below(cfg.k));
+    } else {
+      plan.add_at_time(victim, rng.uniform(0.0, horizon));
+    }
+  }
+  return plan;
+}
+
+CrashPlan CrashPlan::silent_prefix(std::size_t count) {
+  CrashPlan plan;
+  for (std::size_t i = 0; i < count; ++i) plan.add_at_time(i, 0.0);
+  return plan;
+}
+
+CrashPlan CrashPlan::staggered(const dr::Config& cfg, Rng& rng,
+                               std::size_t count, sim::Time spacing) {
+  ASYNCDR_EXPECTS(count <= cfg.max_faulty());
+  CrashPlan plan;
+  const auto victims = rng.sample_without_replacement(cfg.k, count);
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    plan.add_at_time(victims[i], spacing * static_cast<sim::Time>(i + 1));
+  }
+  return plan;
+}
+
+CrashPlan CrashPlan::partial_broadcast(const dr::Config& cfg, Rng& rng,
+                                       std::size_t count,
+                                       std::uint64_t sends) {
+  ASYNCDR_EXPECTS(count <= cfg.max_faulty());
+  CrashPlan plan;
+  for (std::size_t victim : rng.sample_without_replacement(cfg.k, count)) {
+    plan.add_after_sends(victim, sends);
+  }
+  return plan;
+}
+
+}  // namespace asyncdr::adv

@@ -1,0 +1,71 @@
+// Crash-fault adversary strategies. A CrashPlan is a declarative list of
+// crash events applied to a World before it runs; generators build the plans
+// the crash-fault analysis cares about (random, early, staggered, and
+// mid-broadcast partial sends).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dr/config.hpp"
+#include "dr/world.hpp"
+
+namespace asyncdr::adv {
+
+/// One crash instruction.
+struct CrashSpec {
+  enum class Kind {
+    kAtTime,      ///< crash at absolute virtual time `at`
+    kAfterSends,  ///< crash just before the (sends+1)-th send
+  };
+  sim::PeerId peer = sim::kNoPeer;
+  Kind kind = Kind::kAtTime;
+  sim::Time at = 0;
+  std::uint64_t sends = 0;
+};
+
+/// A set of crash instructions for distinct peers.
+class CrashPlan {
+ public:
+  CrashPlan() = default;
+
+  void add_at_time(sim::PeerId peer, sim::Time at);
+  void add_after_sends(sim::PeerId peer, std::uint64_t sends);
+
+  std::size_t size() const { return specs_.size(); }
+  const std::vector<CrashSpec>& specs() const { return specs_; }
+
+  /// Registers every crash with the world (marks the peers faulty).
+  void apply(dr::World& world) const;
+
+  std::string to_string() const;
+
+  // ---- Generators. All crash exactly `count` distinct peers. ----
+
+  /// Uniformly random victims; each crashes at a uniform time in
+  /// [0, horizon], or (with probability partial_send_prob) after a random
+  /// small number of sends — the mid-broadcast case.
+  static CrashPlan random(const dr::Config& cfg, Rng& rng, std::size_t count,
+                          sim::Time horizon, double partial_send_prob = 0.3);
+
+  /// The first `count` peers never take a single step (silent from t=0).
+  /// Worst case for protocols whose phase-1 assignment leans on low IDs.
+  static CrashPlan silent_prefix(std::size_t count);
+
+  /// Victims crash one per `spacing` time units, so every protocol phase
+  /// can lose a fresh peer.
+  static CrashPlan staggered(const dr::Config& cfg, Rng& rng,
+                             std::size_t count, sim::Time spacing);
+
+  /// Every victim dies mid-broadcast after `sends` messages of its first
+  /// broadcast — the adversarially partial stage-1 delivery.
+  static CrashPlan partial_broadcast(const dr::Config& cfg, Rng& rng,
+                                     std::size_t count, std::uint64_t sends);
+
+ private:
+  std::vector<CrashSpec> specs_;
+};
+
+}  // namespace asyncdr::adv

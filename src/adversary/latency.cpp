@@ -1,0 +1,49 @@
+#include "adversary/latency.hpp"
+
+#include "common/check.hpp"
+
+namespace asyncdr::adv {
+
+UniformLatency::UniformLatency(Rng rng, sim::Time lo, sim::Time hi)
+    : rng_(rng), lo_(lo), hi_(hi) {
+  ASYNCDR_EXPECTS(lo > 0 && lo <= hi && hi <= 1.0);
+}
+
+sim::Time UniformLatency::propagation(const sim::Message&) {
+  return rng_.uniform(lo_, hi_);
+}
+
+SenderDelayLatency::SenderDelayLatency(
+    std::unordered_set<sim::PeerId> slow_senders, sim::Time slow,
+    sim::Time fast)
+    : slow_senders_(std::move(slow_senders)), slow_(slow), fast_(fast) {
+  ASYNCDR_EXPECTS(fast > 0 && slow >= fast);
+}
+
+sim::Time SenderDelayLatency::propagation(const sim::Message& msg) {
+  return slow_senders_.contains(msg.from) ? slow_ : fast_;
+}
+
+SeniorityLatency::SeniorityLatency(std::size_t k, sim::Time lo, sim::Time hi)
+    : k_(k), lo_(lo), hi_(hi) {
+  ASYNCDR_EXPECTS(k >= 1);
+  ASYNCDR_EXPECTS(lo > 0 && lo <= hi && hi <= 1.0);
+}
+
+sim::Time SeniorityLatency::propagation(const sim::Message& msg) {
+  const double rank =
+      static_cast<double>(k_ - 1 - msg.from) / static_cast<double>(k_);
+  return lo_ + (hi_ - lo_) * rank;
+}
+
+CallbackLatency::CallbackLatency(Fn fn) : fn_(std::move(fn)) {
+  ASYNCDR_EXPECTS(fn_ != nullptr);
+}
+
+sim::Time CallbackLatency::propagation(const sim::Message& msg) {
+  const sim::Time t = fn_(msg);
+  ASYNCDR_EXPECTS(t > 0);
+  return t;
+}
+
+}  // namespace asyncdr::adv

@@ -1,0 +1,114 @@
+// Packed bit vector used for the source array X, peer output arrays, and
+// segment strings exchanged between peers. Sizes in this codebase are counted
+// in *bits* throughout, matching the paper's query/message accounting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace asyncdr {
+
+/// A dynamically sized, densely packed vector of bits.
+///
+/// Invariant: bits at positions >= size() inside the last storage word are
+/// always zero, so whole-word comparison and hashing are well defined.
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// Constructs `n` bits, all set to `value`.
+  explicit BitVec(std::size_t n, bool value = false);
+
+  /// Builds a BitVec from a string of '0'/'1' characters (test convenience).
+  static BitVec from_string(const std::string& bits);
+
+  /// Builds an n-bit vector whose bits are drawn from `next_bit()` calls.
+  template <typename F>
+  static BitVec generate(std::size_t n, F&& next_bit) {
+    BitVec v(n);
+    for (std::size_t i = 0; i < n; ++i) v.set(i, static_cast<bool>(next_bit()));
+    return v;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool get(std::size_t i) const;
+  void set(std::size_t i, bool value);
+  void flip(std::size_t i);
+
+  /// Appends one bit at the end.
+  void push_back(bool value);
+
+  /// Returns the sub-vector [pos, pos+len).
+  BitVec slice(std::size_t pos, std::size_t len) const;
+
+  /// Overwrites bits [pos, pos+src.size()) with the contents of `src`.
+  void splice(std::size_t pos, const BitVec& src);
+
+  /// Number of set bits.
+  std::size_t popcount() const;
+
+  // ---- Mask algebra (operands must have equal size). ----
+
+  /// this |= other.
+  void or_with(const BitVec& other);
+  /// this &= other.
+  void and_with(const BitVec& other);
+  /// this &= ~other.
+  void andnot_with(const BitVec& other);
+  /// True if every set bit of *this is also set in other.
+  bool is_subset_of(const BitVec& other) const;
+  /// Number of bits set in both.
+  std::size_t count_and(const BitVec& other) const;
+
+  /// Calls fn(index) for every set bit, in increasing index order.
+  template <typename F>
+  void for_each_set(F&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const auto bit = static_cast<std::size_t>(count_trailing(word));
+        fn(w * kWordBits + bit);
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// First index where *this and other differ; nullopt if equal.
+  /// Both vectors must have the same size.
+  std::optional<std::size_t> first_difference(const BitVec& other) const;
+
+  /// '0'/'1' rendering (test/debug convenience).
+  std::string to_string() const;
+
+  /// 64-bit FNV-style hash over content (used for map keys of segment
+  /// strings; not cryptographic).
+  std::uint64_t hash() const;
+
+  bool operator==(const BitVec& other) const;
+  bool operator!=(const BitVec& other) const { return !(*this == other); }
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+  static std::size_t word_count(std::size_t n) {
+    return (n + kWordBits - 1) / kWordBits;
+  }
+  static int count_trailing(std::uint64_t word);
+  void trim_tail();
+
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+/// Hash functor so BitVec can key unordered containers.
+struct BitVecHash {
+  std::size_t operator()(const BitVec& v) const {
+    return static_cast<std::size_t>(v.hash());
+  }
+};
+
+}  // namespace asyncdr

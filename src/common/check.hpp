@@ -1,0 +1,65 @@
+// Contract-checking macros in the spirit of the Core Guidelines' Expects()
+// and Ensures(). Violations throw (they are programmer errors surfaced to
+// tests), carrying the failed expression and source location.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace asyncdr {
+
+/// Thrown when a precondition, postcondition, or internal invariant fails.
+class contract_violation : public std::logic_error {
+ public:
+  explicit contract_violation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw contract_violation(os.str());
+}
+
+}  // namespace detail
+}  // namespace asyncdr
+
+#define ASYNCDR_EXPECTS(cond)                                                  \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::asyncdr::detail::contract_fail("precondition", #cond, __FILE__,        \
+                                       __LINE__, "");                          \
+  } while (0)
+
+#define ASYNCDR_EXPECTS_MSG(cond, msg)                                         \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::asyncdr::detail::contract_fail("precondition", #cond, __FILE__,        \
+                                       __LINE__, (msg));                       \
+  } while (0)
+
+#define ASYNCDR_ENSURES(cond)                                                  \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::asyncdr::detail::contract_fail("postcondition", #cond, __FILE__,       \
+                                       __LINE__, "");                          \
+  } while (0)
+
+#define ASYNCDR_INVARIANT(cond)                                                \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::asyncdr::detail::contract_fail("invariant", #cond, __FILE__, __LINE__, \
+                                       "");                                    \
+  } while (0)
+
+#define ASYNCDR_INVARIANT_MSG(cond, msg)                                       \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::asyncdr::detail::contract_fail("invariant", #cond, __FILE__, __LINE__, \
+                                       (msg));                                 \
+  } while (0)

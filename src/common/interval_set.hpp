@@ -1,0 +1,70 @@
+// Sorted disjoint half-open interval set over bit indices. The crash-fault
+// Download protocols track "unknown bits" and per-peer assignments as index
+// sets; intervals keep those operations O(#intervals) instead of O(n).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace asyncdr {
+
+/// Half-open interval [lo, hi).
+struct Interval {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+
+  std::size_t length() const { return hi - lo; }
+  bool operator==(const Interval&) const = default;
+};
+
+/// A set of bit indices represented as sorted, disjoint, non-adjacent
+/// half-open intervals.
+///
+/// Invariant: intervals are non-empty, sorted by lo, and separated by gaps
+/// (adjacent intervals are coalesced).
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// The full range [0, n).
+  static IntervalSet full(std::size_t n);
+
+  /// A single interval [lo, hi).
+  static IntervalSet of(std::size_t lo, std::size_t hi);
+
+  bool empty() const { return intervals_.empty(); }
+  std::size_t count() const { return count_; }
+  bool contains(std::size_t i) const;
+
+  void insert(std::size_t i) { insert(i, i + 1); }
+  void insert(std::size_t lo, std::size_t hi);
+  void erase(std::size_t i) { erase(i, i + 1); }
+  void erase(std::size_t lo, std::size_t hi);
+
+  /// In-place set union / difference / intersection.
+  void unite(const IntervalSet& other);
+  void subtract(const IntervalSet& other);
+  void intersect(const IntervalSet& other);
+
+  /// Splits the set into `parts` pieces whose sizes differ by at most one,
+  /// in index order. Used to spread unknown bits evenly over peers.
+  std::vector<IntervalSet> split_evenly(std::size_t parts) const;
+
+  /// Materializes the member indices in increasing order.
+  std::vector<std::size_t> to_indices() const;
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  std::string to_string() const;
+
+  bool operator==(const IntervalSet&) const = default;
+
+ private:
+  void recount();
+
+  std::vector<Interval> intervals_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace asyncdr

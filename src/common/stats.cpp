@@ -1,0 +1,103 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace asyncdr {
+
+void Summary::add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+void Summary::add_all(const std::vector<double>& xs) {
+  for (double x : xs) add(x);
+}
+
+double Summary::min() const {
+  ASYNCDR_EXPECTS(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  ASYNCDR_EXPECTS(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double Summary::mean() const {
+  ASYNCDR_EXPECTS(!samples_.empty());
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::percentile(double q) const {
+  ASYNCDR_EXPECTS(!samples_.empty());
+  ASYNCDR_EXPECTS(q >= 0.0 && q <= 100.0);
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_[0];
+  const double rank = q / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::string Summary::to_string() const {
+  if (samples_.empty()) return "(no samples)";
+  std::ostringstream os;
+  os << mean() << " ± " << stddev() << " [" << min() << ", " << max() << "] n="
+     << samples_.size();
+  return os.str();
+}
+
+void Summary::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double median_of(std::vector<double> xs) {
+  ASYNCDR_EXPECTS(!xs.empty());
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                   xs.end());
+  if (xs.size() % 2 == 1) return xs[mid];
+  const double hi = xs[mid];
+  const double lo =
+      *std::max_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid));
+  return (lo + hi) / 2.0;
+}
+
+std::int64_t median_of(std::vector<std::int64_t> xs) {
+  ASYNCDR_EXPECTS(!xs.empty());
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                   xs.end());
+  // For even sizes, return the lower median — an actual sample value, which
+  // the honest-range guarantee of §4 needs (averaging could leave the range
+  // of values held by honest data sources only in pathological encodings,
+  // but an order-statistic never does).
+  if (xs.size() % 2 == 1) return xs[mid];
+  return *std::max_element(xs.begin(),
+                           xs.begin() + static_cast<std::ptrdiff_t>(mid));
+}
+
+}  // namespace asyncdr

@@ -1,0 +1,44 @@
+// Small statistics helpers shared by tests and benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace asyncdr {
+
+/// Accumulates scalar samples and reports summary statistics.
+class Summary {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double min() const;
+  double max() const;
+  double sum() const;
+  double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double stddev() const;
+  /// Linear-interpolated percentile, q in [0, 100].
+  double percentile(double q) const;
+  double median() const { return percentile(50.0); }
+
+  /// "mean ± stddev [min, max]" rendering for logs.
+  std::string to_string() const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Median of a vector (copies; convenience for the oracle aggregation).
+double median_of(std::vector<double> xs);
+std::int64_t median_of(std::vector<std::int64_t> xs);
+
+}  // namespace asyncdr

@@ -1,0 +1,49 @@
+// Plain-text table rendering for the benchmark harnesses, so every bench
+// binary prints rows in the same aligned format the paper's tables use.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace asyncdr {
+
+/// Collects rows of string cells and renders an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each argument with to_cell() and appends.
+  template <typename... Args>
+  void add(const Args&... args) {
+    add_row({to_cell(args)...});
+  }
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with a header underline and column alignment.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(double v);
+  static std::string to_cell(std::size_t v);
+  static std::string to_cell(int v);
+  static std::string to_cell(long v);
+  static std::string to_cell(unsigned v);
+  static std::string to_cell(long long v);
+  static std::string to_cell(unsigned long long v);
+  static std::string to_cell(bool v) { return v ? "yes" : "no"; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace asyncdr

@@ -1,0 +1,32 @@
+#include "dr/config.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace asyncdr::dr {
+
+std::size_t Config::max_faulty() const {
+  // floor with a tiny epsilon so beta values like 0.2 with k = 5 yield
+  // exactly 1 despite floating-point representation of 0.2 * 5.
+  return static_cast<std::size_t>(std::floor(beta * static_cast<double>(k) + 1e-9));
+}
+
+void Config::validate() const {
+  ASYNCDR_EXPECTS_MSG(n >= 1, "input must have at least one bit");
+  ASYNCDR_EXPECTS_MSG(k >= 2, "need at least two peers");
+  ASYNCDR_EXPECTS_MSG(beta >= 0.0 && beta < 1.0, "beta must be in [0,1)");
+  ASYNCDR_EXPECTS_MSG(max_faulty() < k, "at least one peer must be nonfaulty");
+  ASYNCDR_EXPECTS_MSG(message_bits >= 1, "message size must be positive");
+}
+
+std::string Config::to_string() const {
+  std::ostringstream os;
+  os << "Config{n=" << n << ", k=" << k << ", beta=" << beta
+     << " (t=" << max_faulty() << "), B=" << message_bits << ", seed=" << seed
+     << "}";
+  return os.str();
+}
+
+}  // namespace asyncdr::dr

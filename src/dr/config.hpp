@@ -1,0 +1,37 @@
+// The Data Retrieval model's parameters, validated once and shared by every
+// protocol, adversary, and harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace asyncdr::dr {
+
+/// DR-model instance parameters.
+///
+/// Matches the paper's notation: n input bits, k peers, fault fraction beta
+/// (t = floor(beta * k) faulty peers allowed), message size B bits.
+struct Config {
+  std::size_t n = 0;           ///< input array length in bits
+  std::size_t k = 0;           ///< number of peers
+  double beta = 0.0;           ///< fault fraction in [0, 1)
+  std::size_t message_bits = 64;  ///< the paper's B
+  std::uint64_t seed = 1;      ///< master seed for all randomness
+
+  /// t = floor(beta * k): the maximum number of faulty peers.
+  std::size_t max_faulty() const;
+
+  /// (1 - beta) * k rounded down to the guaranteed count of nonfaulty peers,
+  /// i.e. k - max_faulty().
+  std::size_t min_honest() const { return k - max_faulty(); }
+
+  /// Throws contract_violation if the configuration is malformed.
+  void validate() const;
+
+  std::string to_string() const;
+};
+
+}  // namespace asyncdr::dr

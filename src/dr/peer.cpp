@@ -1,0 +1,57 @@
+#include "dr/peer.hpp"
+
+#include "common/check.hpp"
+#include "dr/world.hpp"
+
+namespace asyncdr::dr {
+
+Peer::~Peer() = default;
+
+std::size_t Peer::k() const { return world_->config().k; }
+std::size_t Peer::n() const { return world_->config().n; }
+
+void Peer::deliver(const sim::Message& msg) {
+  if (terminated_) return;
+  if (world_->network().is_crashed(id_)) return;
+  on_message(msg.from, *msg.payload);
+}
+
+void Peer::send(sim::PeerId to, sim::PayloadPtr payload) {
+  world_->network().send(id_, to, std::move(payload));
+}
+
+void Peer::broadcast(sim::PayloadPtr payload) {
+  world_->network().broadcast(id_, std::move(payload));
+}
+
+bool Peer::query(std::size_t index) {
+  return world_->source().query(id_, index);
+}
+
+BitVec Peer::query_range(std::size_t lo, std::size_t len) {
+  return world_->source().query_range(id_, lo, len);
+}
+
+BitVec Peer::query_indices(const std::vector<std::size_t>& indices) {
+  return world_->source().query_indices(id_, indices);
+}
+
+sim::Time Peer::now() const { return world_->engine().now(); }
+
+void Peer::finish(BitVec output) {
+  ASYNCDR_EXPECTS_MSG(!terminated_, "finish() called twice");
+  terminated_ = true;
+  output_ = std::move(output);
+  termination_time_ = now();
+  if (world_->trace()) {
+    world_->trace()->record_terminate(termination_time_, id_);
+  }
+}
+
+void Peer::bind(World* world, sim::PeerId id, Rng rng) {
+  world_ = world;
+  id_ = id;
+  rng_ = rng;
+}
+
+}  // namespace asyncdr::dr

@@ -1,0 +1,78 @@
+// Event-driven peer base class. Concrete protocol peers (and Byzantine
+// attack peers) override on_start()/on_message() and use the protected
+// helpers to talk to the network and the source. A peer finishes by calling
+// finish(output); after that it ignores all further deliveries, matching the
+// paper's terminated peers.
+#pragma once
+
+#include <memory>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "sim/message.hpp"
+#include "sim/network.hpp"
+#include "sim/types.hpp"
+
+namespace asyncdr::dr {
+
+class World;
+
+/// Base class for all peers in a DR world.
+class Peer : public sim::Receiver {
+ public:
+  Peer() = default;
+  Peer(const Peer&) = delete;
+  Peer& operator=(const Peer&) = delete;
+  ~Peer() override;
+
+  sim::PeerId id() const { return id_; }
+  /// Number of peers in the world.
+  std::size_t k() const;
+  /// Number of input bits.
+  std::size_t n() const;
+
+  bool terminated() const { return terminated_; }
+  const BitVec& output() const { return output_; }
+  sim::Time termination_time() const { return termination_time_; }
+
+  /// Invoked once at the peer's (adversary-chosen) start time.
+  virtual void on_start() = 0;
+
+  /// sim::Receiver — routes to on_message unless terminated/crashed.
+  void deliver(const sim::Message& msg) final;
+
+ protected:
+  /// Handles one delivered payload.
+  virtual void on_message(sim::PeerId from, const sim::Payload& payload) = 0;
+
+  void send(sim::PeerId to, sim::PayloadPtr payload);
+  void broadcast(sim::PayloadPtr payload);
+
+  bool query(std::size_t index);
+  BitVec query_range(std::size_t lo, std::size_t len);
+  BitVec query_indices(const std::vector<std::size_t>& indices);
+
+  sim::Time now() const;
+
+  /// Records the output array and stops processing messages.
+  void finish(BitVec output);
+
+  /// Per-peer deterministic random stream (split off the config seed).
+  Rng& rng() { return rng_; }
+
+  World& world() { return *world_; }
+  const World& world() const { return *world_; }
+
+ private:
+  friend class World;
+  void bind(World* world, sim::PeerId id, Rng rng);
+
+  World* world_ = nullptr;
+  sim::PeerId id_ = sim::kNoPeer;
+  Rng rng_{0};
+  bool terminated_ = false;
+  BitVec output_;
+  sim::Time termination_time_ = 0;
+};
+
+}  // namespace asyncdr::dr

@@ -1,0 +1,78 @@
+#include "dr/source.hpp"
+
+#include "common/check.hpp"
+
+namespace asyncdr::dr {
+
+Source::Source(BitVec data, std::size_t k)
+    : data_(std::move(data)), counts_(k, 0), indices_(k) {
+  ASYNCDR_EXPECTS(k >= 1);
+  ASYNCDR_EXPECTS(data_.size() >= 1);
+}
+
+const BitVec& Source::view_for(sim::PeerId by) const {
+  const auto it = overlays_.find(by);
+  return it == overlays_.end() ? data_ : it->second;
+}
+
+bool Source::query(sim::PeerId by, std::size_t index) {
+  ASYNCDR_EXPECTS(by < counts_.size());
+  ASYNCDR_EXPECTS(index < data_.size());
+  account(by, index, index + 1);
+  return view_for(by).get(index);
+}
+
+BitVec Source::query_range(sim::PeerId by, std::size_t lo, std::size_t len) {
+  ASYNCDR_EXPECTS(by < counts_.size());
+  ASYNCDR_EXPECTS(lo + len <= data_.size());
+  account(by, lo, lo + len);
+  return view_for(by).slice(lo, len);
+}
+
+BitVec Source::query_indices(sim::PeerId by,
+                             const std::vector<std::size_t>& indices) {
+  ASYNCDR_EXPECTS(by < counts_.size());
+  const BitVec& view = view_for(by);
+  BitVec out(indices.size());
+  for (std::size_t j = 0; j < indices.size(); ++j) {
+    ASYNCDR_EXPECTS(indices[j] < data_.size());
+    account(by, indices[j], indices[j] + 1);
+    out.set(j, view.get(indices[j]));
+  }
+  return out;
+}
+
+std::uint64_t Source::bits_queried(sim::PeerId by) const {
+  ASYNCDR_EXPECTS(by < counts_.size());
+  return counts_[by];
+}
+
+const IntervalSet& Source::queried_indices(sim::PeerId by) const {
+  ASYNCDR_EXPECTS(by < indices_.size());
+  ASYNCDR_EXPECTS_MSG(record_indices_, "index recording is disabled");
+  return indices_[by];
+}
+
+void Source::set_data(BitVec data) {
+  ASYNCDR_EXPECTS(data.size() == data_.size());
+  data_ = std::move(data);
+}
+
+void Source::set_overlay(sim::PeerId peer, BitVec fake) {
+  ASYNCDR_EXPECTS(peer < counts_.size());
+  ASYNCDR_EXPECTS(fake.size() == data_.size());
+  overlays_[peer] = std::move(fake);
+}
+
+void Source::reset_accounting() {
+  for (auto& c : counts_) c = 0;
+  for (auto& s : indices_) s = IntervalSet{};
+}
+
+void Source::account(sim::PeerId by, std::size_t lo, std::size_t hi) {
+  counts_[by] += hi - lo;
+  if (record_indices_) indices_[by].insert(lo, hi);
+  if (query_observer_) query_observer_(by, hi - lo);
+}
+
+}  // namespace asyncdr::dr

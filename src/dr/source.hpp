@@ -1,0 +1,85 @@
+// The trusted external data source of the DR model. It answers point and
+// range queries with the true bits of X and accounts every queried bit per
+// peer — the quantity the paper's query complexity measures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/interval_set.hpp"
+#include "sim/types.hpp"
+
+namespace asyncdr::dr {
+
+/// Read-only n-bit array with per-peer query accounting.
+///
+/// Queries are answered synchronously. In the paper source-to-peer
+/// communication is also asynchronous, but every protocol here issues its
+/// queries at a stage boundary and blocks on nothing else until the answers
+/// are used, so delaying answers only rescales time without changing any
+/// decision; the simplification is recorded in DESIGN.md.
+class Source {
+ public:
+  Source(BitVec data, std::size_t k);
+
+  std::size_t n() const { return data_.size(); }
+  std::size_t peers() const { return counts_.size(); }
+
+  /// Queries one bit on behalf of peer `by`; costs 1 bit.
+  bool query(sim::PeerId by, std::size_t index);
+
+  /// Queries the contiguous range [lo, lo+len); costs len bits.
+  BitVec query_range(sim::PeerId by, std::size_t lo, std::size_t len);
+
+  /// Queries an arbitrary index list; costs indices.size() bits. The result
+  /// bit j is X[indices[j]].
+  BitVec query_indices(sim::PeerId by, const std::vector<std::size_t>& indices);
+
+  /// Bits queried so far by one peer.
+  std::uint64_t bits_queried(sim::PeerId by) const;
+
+  /// When enabled, records *which* indices each peer queried — used by the
+  /// lower-bound adversary to find a bit the victim never looked at.
+  void enable_index_recording(bool on) { record_indices_ = on; }
+  const IntervalSet& queried_indices(sim::PeerId by) const;
+
+  /// Observer invoked on every accounted query batch (peer, bits) — wired
+  /// to the execution trace when tracing is enabled.
+  using QueryObserver = std::function<void(sim::PeerId, std::size_t)>;
+  void set_query_observer(QueryObserver observer) {
+    query_observer_ = std::move(observer);
+  }
+
+  /// Ground truth, for verification only (peers must go through query()).
+  const BitVec& data() const { return data_; }
+
+  /// Swaps in a different array without resetting counters. Only the
+  /// two-world lower-bound constructions use this.
+  void set_data(BitVec data);
+
+  /// Makes queries by `peer` answer from `fake` instead of the real array
+  /// (still accounted). This is how the Theorem 3.1/3.2 adversary's
+  /// corrupted coalition "acts as if the input were X": they run the honest
+  /// code against the other world's source.
+  void set_overlay(sim::PeerId peer, BitVec fake);
+
+  /// Zeroes all per-peer accounting (used between attack phases).
+  void reset_accounting();
+
+ private:
+  void account(sim::PeerId by, std::size_t lo, std::size_t hi);
+
+  const BitVec& view_for(sim::PeerId by) const;
+
+  BitVec data_;
+  std::vector<std::uint64_t> counts_;
+  std::vector<IntervalSet> indices_;
+  std::map<sim::PeerId, BitVec> overlays_;
+  QueryObserver query_observer_;
+  bool record_indices_ = false;
+};
+
+}  // namespace asyncdr::dr

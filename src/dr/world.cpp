@@ -1,0 +1,171 @@
+#include "dr/world.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace asyncdr::dr {
+
+std::string RunReport::to_string() const {
+  std::ostringstream os;
+  os << "RunReport{ok=" << (ok() ? "yes" : "no")
+     << " terminated=" << all_terminated << " correct=" << all_correct
+     << " budget_exhausted=" << budget_exhausted << " Q=" << query_complexity
+     << " T=" << time_complexity << " M=" << message_complexity
+     << " events=" << events;
+  if (!incorrect_peers.empty()) {
+    os << " incorrect=[";
+    for (auto p : incorrect_peers) os << p << ' ';
+    os << ']';
+  }
+  if (!unterminated_peers.empty()) {
+    os << " unterminated=[";
+    for (auto p : unterminated_peers) os << p << ' ';
+    os << ']';
+  }
+  os << '}';
+  return os.str();
+}
+
+World::World(Config cfg, BitVec input)
+    : cfg_(cfg),
+      net_(engine_, cfg.k, cfg.message_bits),
+      source_(std::move(input), cfg.k),
+      peers_(cfg.k),
+      faulty_(cfg.k, false),
+      start_times_(cfg.k, 0) {
+  cfg_.validate();
+  ASYNCDR_EXPECTS_MSG(source_.n() == cfg_.n, "input length must equal cfg.n");
+}
+
+void World::set_peer(sim::PeerId id, std::unique_ptr<Peer> peer) {
+  ASYNCDR_EXPECTS(id < cfg_.k);
+  ASYNCDR_EXPECTS(peer != nullptr);
+  peer->bind(this, id, Rng(cfg_.seed).split(id));
+  net_.attach(id, peer.get());
+  peers_[id] = std::move(peer);
+}
+
+Peer& World::peer(sim::PeerId id) {
+  ASYNCDR_EXPECTS(id < cfg_.k);
+  ASYNCDR_EXPECTS(peers_[id] != nullptr);
+  return *peers_[id];
+}
+
+void World::mark_faulty(sim::PeerId id) {
+  ASYNCDR_EXPECTS(id < cfg_.k);
+  faulty_[id] = true;
+  ASYNCDR_EXPECTS_MSG(faulty_count() <= cfg_.max_faulty(),
+                      "adversary exceeded the fault budget t = beta*k");
+}
+
+bool World::is_faulty(sim::PeerId id) const {
+  ASYNCDR_EXPECTS(id < cfg_.k);
+  return faulty_[id];
+}
+
+std::size_t World::faulty_count() const {
+  return static_cast<std::size_t>(
+      std::count(faulty_.begin(), faulty_.end(), true));
+}
+
+void World::schedule_crash_at(sim::PeerId id, sim::Time t) {
+  mark_faulty(id);
+  engine_.schedule_at(t, [this, id] {
+    net_.crash(id);
+    if (trace_) trace_->record_crash(engine_.now(), id);
+  });
+}
+
+void World::crash_after_sends(sim::PeerId id, std::uint64_t count) {
+  mark_faulty(id);
+  sends_remaining_[id] = count;
+  install_send_hook_if_needed();
+}
+
+void World::set_start_time(sim::PeerId id, sim::Time t) {
+  ASYNCDR_EXPECTS(id < cfg_.k);
+  ASYNCDR_EXPECTS(t >= 0);
+  start_times_[id] = t;
+}
+
+void World::install_send_hook_if_needed() {
+  net_.set_pre_send_hook([this](const sim::Message& msg) {
+    auto it = sends_remaining_.find(msg.from);
+    if (it == sends_remaining_.end()) return;
+    if (it->second == 0) {
+      net_.crash(msg.from);
+      if (trace_) trace_->record_crash(engine_.now(), msg.from);
+      sends_remaining_.erase(it);
+    } else {
+      --it->second;
+    }
+  });
+}
+
+sim::Trace& World::enable_trace(std::size_t capacity) {
+  ASYNCDR_EXPECTS_MSG(!ran_, "enable_trace must precede run()");
+  if (!trace_) {
+    trace_ = std::make_unique<sim::Trace>(engine_, capacity);
+    net_.set_observer(trace_.get());
+    source_.set_query_observer([this](sim::PeerId peer, std::size_t bits) {
+      trace_->record_query(engine_.now(), peer, bits);
+    });
+  }
+  return *trace_;
+}
+
+RunReport World::run(std::size_t max_events) {
+  ASYNCDR_EXPECTS_MSG(!ran_, "World::run may only be called once");
+  ran_ = true;
+  for (sim::PeerId id = 0; id < cfg_.k; ++id) {
+    ASYNCDR_EXPECTS_MSG(peers_[id] != nullptr, "peer not set: " + std::to_string(id));
+    Peer* p = peers_[id].get();
+    engine_.schedule_at(start_times_[id], [this, p, id] {
+      // A late starter may already be crashed — or even terminated, if a
+      // terminating push reached it before its own start time.
+      if (!net_.is_crashed(id) && !p->terminated()) p->on_start();
+    });
+  }
+
+  const auto run_result = engine_.run(max_events);
+
+  RunReport report;
+  report.events = run_result.events_processed;
+  report.budget_exhausted = run_result.budget_exhausted;
+  report.all_terminated = true;
+  report.all_correct = true;
+  report.per_peer_queries.resize(cfg_.k, 0);
+  report.outputs.resize(cfg_.k);
+
+  for (sim::PeerId id = 0; id < cfg_.k; ++id) {
+    report.per_peer_queries[id] =
+        static_cast<std::size_t>(source_.bits_queried(id));
+    if (peers_[id]->terminated()) report.outputs[id] = peers_[id]->output();
+    if (faulty_[id]) continue;
+    const Peer& p = *peers_[id];
+    if (!p.terminated()) {
+      report.all_terminated = false;
+      report.unterminated_peers.push_back(id);
+    } else if (p.output() != source_.data()) {
+      report.all_correct = false;
+      report.incorrect_peers.push_back(id);
+    }
+    report.query_complexity = std::max(
+        report.query_complexity, report.per_peer_queries[id]);
+    report.total_queries += source_.bits_queried(id);
+    report.time_complexity =
+        std::max(report.time_complexity,
+                 p.terminated() ? p.termination_time() : engine_.now());
+    report.message_complexity += net_.sent_units(id);
+    report.payload_messages += net_.sent_payloads(id);
+  }
+  return report;
+}
+
+Rng World::adversary_rng(std::uint64_t tag) const {
+  return Rng(cfg_.seed).split(0x4adull * (tag + 1) + cfg_.k);
+}
+
+}  // namespace asyncdr::dr

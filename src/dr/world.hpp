@@ -1,0 +1,111 @@
+// A World wires one DR-model instance together: the engine, the clique
+// network, the trusted source, the peers (honest and faulty), and the crash
+// schedule. Running it produces a RunReport with the paper's three
+// complexity measures and a correctness verdict.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "dr/config.hpp"
+#include "dr/peer.hpp"
+#include "dr/source.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+#include "sim/trace.hpp"
+
+namespace asyncdr::dr {
+
+/// Outcome of one execution.
+struct RunReport {
+  bool all_terminated = false;   ///< every nonfaulty peer finished
+  bool all_correct = false;      ///< every finished nonfaulty output == X
+  bool budget_exhausted = false; ///< engine event budget hit (runaway)
+
+  /// The Download correctness predicate: terminated, correct, not runaway.
+  bool ok() const { return all_terminated && all_correct && !budget_exhausted; }
+
+  std::size_t query_complexity = 0;      ///< Q: max bits queried, nonfaulty
+  sim::Time time_complexity = 0;         ///< T: last nonfaulty termination
+  std::uint64_t message_complexity = 0;  ///< M: unit messages by nonfaulty
+  std::uint64_t payload_messages = 0;    ///< send() calls by nonfaulty
+  std::uint64_t total_queries = 0;       ///< sum of bits queried, nonfaulty
+  std::size_t events = 0;
+
+  std::vector<std::size_t> per_peer_queries;  ///< indexed by peer id
+  std::vector<sim::PeerId> incorrect_peers;
+  std::vector<sim::PeerId> unterminated_peers;
+  /// Per-peer outputs (empty BitVec for peers that did not terminate);
+  /// consumers like the oracle aggregation read downloaded arrays here.
+  std::vector<BitVec> outputs;
+
+  std::string to_string() const;
+};
+
+/// One DR-model instance.
+class World {
+ public:
+  /// input.size() must equal cfg.n.
+  World(Config cfg, BitVec input);
+
+  const Config& config() const { return cfg_; }
+  sim::Engine& engine() { return engine_; }
+  sim::Network& network() { return net_; }
+  Source& source() { return source_; }
+
+  /// Installs the peer implementation for one ID (honest protocol peer or a
+  /// Byzantine attack peer). Every ID must be set before run().
+  void set_peer(sim::PeerId id, std::unique_ptr<Peer> peer);
+  Peer& peer(sim::PeerId id);
+
+  /// Marks a peer as faulty: excluded from the correctness predicate and
+  /// from all complexity measures. Byzantine attack peers must be marked.
+  void mark_faulty(sim::PeerId id);
+  bool is_faulty(sim::PeerId id) const;
+  std::size_t faulty_count() const;
+
+  /// Crash-fault helpers; both imply mark_faulty(id).
+  void schedule_crash_at(sim::PeerId id, sim::Time t);
+  /// Crashes the peer just before its (count+1)-th send — i.e. it gets
+  /// exactly `count` more sends out — modelling death mid-broadcast.
+  void crash_after_sends(sim::PeerId id, std::uint64_t count);
+
+  /// Adversary-chosen start time (default 0; the model has no simultaneous
+  /// start guarantee).
+  void set_start_time(sim::PeerId id, sim::Time t);
+
+  /// Enables execution tracing (sends, deliveries, drops, crashes, queries,
+  /// terminations). Call before run(). Returns the trace, owned by the
+  /// world.
+  sim::Trace& enable_trace(std::size_t capacity = 1 << 20);
+  /// The trace if enabled, else nullptr.
+  sim::Trace* trace() { return trace_.get(); }
+
+  /// Runs to quiescence (or the event budget) and reports.
+  RunReport run(std::size_t max_events = sim::Engine::kDefaultEventBudget);
+
+  /// Per-peer RNG stream used to bind peers; exposed so adversaries can
+  /// derive their own independent streams from the same master seed.
+  Rng adversary_rng(std::uint64_t tag) const;
+
+ private:
+  void install_send_hook_if_needed();
+
+  friend class Peer;
+
+  Config cfg_;
+  sim::Engine engine_;
+  sim::Network net_;
+  Source source_;
+  std::unique_ptr<sim::Trace> trace_;
+  std::vector<std::unique_ptr<Peer>> peers_;
+  std::vector<bool> faulty_;
+  std::vector<sim::Time> start_times_;
+  std::map<sim::PeerId, std::uint64_t> sends_remaining_;  // crash_after_sends
+  bool ran_ = false;
+};
+
+}  // namespace asyncdr::dr

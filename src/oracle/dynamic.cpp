@@ -1,0 +1,86 @@
+#include "oracle/dynamic.hpp"
+
+#include <set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace asyncdr::oracle {
+
+DynamicRunResult run_dynamic_download(const dr::Config& cfg,
+                                      const proto::PeerFactory& honest,
+                                      const std::vector<Mutation>& mutations,
+                                      sim::Time stagger,
+                                      std::size_t partial_crashes) {
+  ASYNCDR_EXPECTS(honest != nullptr);
+  const BitVec initial = proto::random_input(cfg.n, cfg.seed);
+  dr::World world(cfg, initial);
+  Rng starts = Rng(cfg.seed).split(0x57a6ull);
+  for (sim::PeerId id = 0; id < cfg.k; ++id) {
+    world.set_peer(id, honest(cfg, id));
+    if (stagger > 0) world.set_start_time(id, starts.uniform(0.0, stagger));
+  }
+  if (partial_crashes > 0) {
+    Rng crash_rng = Rng(cfg.seed).split(0xc4a5ull);
+    // Victims die after answering only some stage-1 requests (their first
+    // k-1 sends are their own request broadcast), so part of the network
+    // holds their old-era values while the rest re-queries later.
+    adv::CrashPlan::partial_broadcast(cfg, crash_rng, partial_crashes,
+                                      cfg.k - 1 + cfg.k / 2)
+        .apply(world);
+  }
+
+  BitVec final_data = initial;
+  for (const Mutation& m : mutations) {
+    ASYNCDR_EXPECTS(m.bit < cfg.n);
+    final_data.flip(m.bit);
+  }
+  // Apply mutations live: flip the source's array at the scheduled instants.
+  for (const Mutation& m : mutations) {
+    world.engine().schedule_at(m.at, [&world, bit = m.bit] {
+      BitVec data = world.source().data();
+      data.flip(bit);
+      world.source().set_data(std::move(data));
+    });
+  }
+
+  const dr::RunReport report = world.run();
+
+  DynamicRunResult result;
+  result.all_terminated = report.all_terminated;
+  std::set<std::string> distinct;
+  for (sim::PeerId id = 0; id < cfg.k; ++id) {
+    if (world.is_faulty(id)) continue;
+    ++result.nonfaulty;
+    const BitVec& out = report.outputs[id];
+    if (out.size() != cfg.n) continue;  // unterminated
+    distinct.insert(out.to_string());
+    if (out == final_data) {
+      ++result.agree_with_final;
+    } else if (out == initial) {
+      ++result.agree_with_initial;
+    } else {
+      ++result.torn;
+    }
+  }
+  result.distinct_outputs = distinct.size();
+  return result;
+}
+
+std::vector<Mutation> periodic_mutations(const dr::Config& cfg,
+                                         std::size_t count, sim::Time horizon,
+                                         std::uint64_t salt) {
+  ASYNCDR_EXPECTS(count >= 1);
+  ASYNCDR_EXPECTS(horizon > 0);
+  Rng rng = Rng(cfg.seed).split(0xd1afull + salt);
+  std::vector<Mutation> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(Mutation{
+        horizon * static_cast<sim::Time>(i + 1) / static_cast<sim::Time>(count),
+        static_cast<std::size_t>(rng.below(cfg.n))});
+  }
+  return out;
+}
+
+}  // namespace asyncdr::oracle

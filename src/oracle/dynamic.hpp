@@ -1,0 +1,69 @@
+// The paper's stated open problem (§4, final paragraph): all Download
+// guarantees assume the source is STATIC — two honest peers querying the
+// same cell at different times must see the same value. This module makes
+// that assumption executable: it schedules in-run mutations of the source
+// and measures what breaks, quantifying why "Download from dynamic data"
+// is genuinely open rather than an engineering gap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dr/world.hpp"
+#include "protocols/runner.hpp"
+
+namespace asyncdr::oracle {
+
+/// One scheduled in-run mutation of the source array.
+struct Mutation {
+  sim::Time at = 0;
+  std::size_t bit = 0;  ///< flipped at time `at`
+};
+
+/// Outcome of a Download run over a mutating source.
+struct DynamicRunResult {
+  bool all_terminated = false;
+  /// Peers whose output equals the FINAL array.
+  std::size_t agree_with_final = 0;
+  /// Peers whose output equals the INITIAL array.
+  std::size_t agree_with_initial = 0;
+  /// Peers whose output matches neither snapshot (torn reads).
+  std::size_t torn = 0;
+  /// Distinct outputs among nonfaulty peers (1 = they at least agree).
+  std::size_t distinct_outputs = 0;
+  std::size_t nonfaulty = 0;
+
+  /// The static-data guarantee, transplanted: everyone holds the final
+  /// array. Expected to FAIL once mutations land mid-run.
+  bool download_guarantee() const {
+    return all_terminated && agree_with_final == nonfaulty;
+  }
+  /// The weaker property one might hope for: all peers agree on *some*
+  /// snapshot. Also fails in general — the experiment's point.
+  bool agreement_only() const {
+    return all_terminated && distinct_outputs <= 1;
+  }
+};
+
+/// Runs `honest` Download peers over an n-bit source that mutates per
+/// `mutations` while the protocol executes. Crash/Byzantine adversaries are
+/// deliberately absent: the mutations alone defeat the guarantee. Peers
+/// start at adversary-staggered times spread over [0, stagger] (the model
+/// makes no simultaneous-start promise), so their queries interleave with
+/// the mutations.
+/// `partial_crashes` peers die mid-broadcast (within the fault budget):
+/// their bits get reassigned and RE-QUERIED later, so two peers can hold
+/// different-era values for the same bit — the disagreement mode that mere
+/// agreement-on-a-snapshot hopes would not exist.
+DynamicRunResult run_dynamic_download(const dr::Config& cfg,
+                                      const proto::PeerFactory& honest,
+                                      const std::vector<Mutation>& mutations,
+                                      sim::Time stagger = 0.0,
+                                      std::size_t partial_crashes = 0);
+
+/// Convenience: `count` evenly spaced single-bit flips across [0, horizon].
+std::vector<Mutation> periodic_mutations(const dr::Config& cfg,
+                                         std::size_t count, sim::Time horizon,
+                                         std::uint64_t salt = 0);
+
+}  // namespace asyncdr::oracle

@@ -1,0 +1,120 @@
+#include "oracle/odc.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace asyncdr::oracle {
+
+namespace {
+
+/// Verifies the ODD predicate over every published value of honest nodes.
+void check_odd(const SourceBank& bank, OdcResult& result) {
+  for (const auto& node_values : result.published) {
+    for (std::size_t c = 0; c < node_values.size(); ++c) {
+      if (!bank.in_honest_range(c, node_values[c])) {
+        result.odd_satisfied = false;
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+OdcResult run_naive_odc(const SourceBank& bank, std::size_t nodes) {
+  ASYNCDR_EXPECTS(nodes >= 1);
+  const std::size_t m = bank.count();
+  const std::size_t cells = bank.spec().cells;
+  const auto byz_budget = static_cast<std::size_t>(
+      bank.spec().psi * static_cast<double>(m));
+  const std::size_t sample = std::min(m, 2 * byz_budget + 1);
+
+  OdcResult result;
+  result.published.resize(nodes);
+  for (std::size_t node = 0; node < nodes; ++node) {
+    // Arbitrary sample; rotate per node so the load is spread.
+    std::vector<std::size_t> picked(sample);
+    for (std::size_t i = 0; i < sample; ++i) picked[i] = (node + i) % m;
+
+    std::uint64_t node_bits = 0;
+    result.published[node].resize(cells);
+    for (std::size_t c = 0; c < cells; ++c) {
+      std::vector<std::int64_t> readings;
+      readings.reserve(sample);
+      for (std::size_t src : picked) {
+        readings.push_back(bank.source(src).read(c));
+        node_bits += bank.source(src).value_bits();
+      }
+      result.published[node][c] = median_of(std::move(readings));
+    }
+    result.max_node_query_bits = std::max(result.max_node_query_bits, node_bits);
+    result.total_query_bits += node_bits;
+  }
+  check_odd(bank, result);
+  return result;
+}
+
+OdcResult run_download_odc(const SourceBank& bank,
+                           const DownloadOdcOptions& options) {
+  ASYNCDR_EXPECTS(options.honest != nullptr);
+  const std::size_t m = bank.count();
+  const std::size_t cells = bank.spec().cells;
+  const std::size_t k = options.node_cfg.k;
+  const std::unordered_set<sim::PeerId> byz(options.byz_nodes.begin(),
+                                            options.byz_nodes.end());
+
+  // downloaded[node][source] = the bit array node retrieved for the source.
+  std::vector<std::vector<BitVec>> downloaded(k, std::vector<BitVec>(m));
+  std::vector<std::uint64_t> node_bits(k, 0);
+
+  OdcResult result;
+  for (std::size_t src = 0; src < m; ++src) {
+    proto::Scenario scenario;
+    scenario.cfg = options.node_cfg;
+    scenario.cfg.n = bank.source(src).total_bits();
+    scenario.cfg.seed = options.node_cfg.seed + 7919 * (src + 1);
+    scenario.input = bank.source(src).bits();
+    scenario.honest = options.honest;
+    scenario.byzantine = options.byzantine;
+    scenario.byz_ids = options.byz_nodes;
+
+    const dr::RunReport report = proto::run_scenario(scenario);
+    if (!report.ok()) ++result.download_failures;
+    result.message_complexity += report.message_complexity;
+    for (sim::PeerId node = 0; node < k; ++node) {
+      if (byz.contains(node)) continue;
+      node_bits[node] += report.per_peer_queries[node];
+      downloaded[node][src] = report.outputs[node];
+    }
+  }
+
+  // Aggregate: per honest node, per cell, the median over all m sources.
+  for (sim::PeerId node = 0; node < k; ++node) {
+    if (byz.contains(node)) continue;
+    std::vector<std::int64_t> values(cells);
+    for (std::size_t c = 0; c < cells; ++c) {
+      std::vector<std::int64_t> readings;
+      readings.reserve(m);
+      for (std::size_t src = 0; src < m; ++src) {
+        if (downloaded[node][src].size() != bank.source(src).total_bits()) {
+          continue;  // failed download for this node/source
+        }
+        readings.push_back(bank.source(src).decode(downloaded[node][src], c));
+      }
+      ASYNCDR_EXPECTS_MSG(!readings.empty(),
+                          "node downloaded nothing for a cell");
+      values[c] = median_of(std::move(readings));
+    }
+    result.published.push_back(std::move(values));
+    result.max_node_query_bits =
+        std::max(result.max_node_query_bits, node_bits[node]);
+    result.total_query_bits += node_bits[node];
+  }
+  check_odd(bank, result);
+  return result;
+}
+
+}  // namespace asyncdr::oracle

@@ -1,0 +1,56 @@
+// The Oracle Data Collection step (§4), both ways:
+//
+//   Naive ODC (Theorem 4.1): every oracle node independently reads
+//     2*psi*m + 1 full sources and medians cell-wise. Per-node cost
+//     (2 psi m + 1) * V * w bits.
+//
+//   Download-based ODC (Theorem 4.2): for every source, the k nodes run a
+//     Download protocol over its bit encoding, then median cell-wise over
+//     ALL m sources. Per-node cost m * Q_download(V*w) — a ~(1-2 beta) k
+//     factor cheaper.
+//
+// Both must satisfy ODD: every published cell value lies within the honest
+// sources' range for that cell.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dr/config.hpp"
+#include "oracle/source_bank.hpp"
+#include "protocols/runner.hpp"
+
+namespace asyncdr::oracle {
+
+/// Outcome of one ODC experiment.
+struct OdcResult {
+  /// published[node][cell]: the value node would push on-chain.
+  std::vector<std::vector<std::int64_t>> published;
+
+  std::uint64_t max_node_query_bits = 0;  ///< the per-node cost (§4 metric)
+  std::uint64_t total_query_bits = 0;
+  std::uint64_t message_complexity = 0;   ///< unit messages (0 for naive)
+  std::size_t download_failures = 0;      ///< failed Download runs
+  bool odd_satisfied = true;              ///< honest-range check
+
+  bool ok() const { return odd_satisfied && download_failures == 0; }
+};
+
+/// Theorem 4.1 baseline. `nodes` oracle nodes, each sampling a rotated
+/// window of 2*floor(psi*m)+1 sources.
+OdcResult run_naive_odc(const SourceBank& bank, std::size_t nodes);
+
+/// Theorem 4.2 construction.
+struct DownloadOdcOptions {
+  /// Oracle-node network: k nodes, beta Byzantine-node fraction, B, seed.
+  /// cfg.n is overwritten per source.
+  dr::Config node_cfg;
+  proto::PeerFactory honest;              ///< Download protocol to run
+  proto::PeerFactory byzantine;           ///< required iff byz_nodes set
+  std::vector<sim::PeerId> byz_nodes;     ///< Byzantine oracle nodes
+};
+
+OdcResult run_download_odc(const SourceBank& bank,
+                           const DownloadOdcOptions& options);
+
+}  // namespace asyncdr::oracle

@@ -1,0 +1,93 @@
+#include "oracle/source_bank.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace asyncdr::oracle {
+
+SourceBank::SourceBank(Spec spec, std::vector<ValueSource> sources,
+                       std::vector<bool> byzantine)
+    : spec_(spec), sources_(std::move(sources)), byzantine_(std::move(byzantine)) {}
+
+SourceBank SourceBank::build(const Spec& spec) {
+  ASYNCDR_EXPECTS(spec.sources >= 1);
+  ASYNCDR_EXPECTS(spec.psi >= 0.0 && spec.psi < 0.5);
+  Rng rng(spec.seed);
+  const std::int64_t max_value = (std::int64_t{1} << spec.value_bits) - 1;
+
+  // Ground truth per cell, kept away from the boundaries so honest jitter
+  // stays representable.
+  std::vector<std::int64_t> truth(spec.cells);
+  for (auto& v : truth) {
+    v = rng.range(spec.noise, std::max<std::int64_t>(spec.noise + 1,
+                                                     max_value - spec.noise));
+  }
+
+  const auto byz_count =
+      static_cast<std::size_t>(spec.psi * static_cast<double>(spec.sources));
+  std::vector<bool> byzantine(spec.sources, false);
+  for (std::size_t i : rng.sample_without_replacement(spec.sources, byz_count)) {
+    byzantine[i] = true;
+  }
+
+  std::vector<ValueSource> sources;
+  sources.reserve(spec.sources);
+  for (std::size_t i = 0; i < spec.sources; ++i) {
+    std::vector<std::int64_t> cells(spec.cells);
+    for (std::size_t c = 0; c < spec.cells; ++c) {
+      if (byzantine[i]) {
+        // Adversarial but static: extreme values, alternating ends.
+        cells[c] = rng.flip() ? 0 : max_value;
+      } else {
+        cells[c] = std::clamp<std::int64_t>(
+            truth[c] + rng.range(-spec.noise, spec.noise), 0, max_value);
+      }
+    }
+    sources.emplace_back(std::move(cells), spec.value_bits);
+  }
+  return SourceBank(spec, std::move(sources), std::move(byzantine));
+}
+
+std::size_t SourceBank::byzantine_count() const {
+  return static_cast<std::size_t>(
+      std::count(byzantine_.begin(), byzantine_.end(), true));
+}
+
+const ValueSource& SourceBank::source(std::size_t i) const {
+  ASYNCDR_EXPECTS(i < sources_.size());
+  return sources_[i];
+}
+
+bool SourceBank::is_byzantine(std::size_t i) const {
+  ASYNCDR_EXPECTS(i < byzantine_.size());
+  return byzantine_[i];
+}
+
+std::pair<std::int64_t, std::int64_t> SourceBank::honest_range(
+    std::size_t cell) const {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  bool first = true;
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    if (byzantine_[i]) continue;
+    const std::int64_t v = sources_[i].read(cell);
+    if (first) {
+      lo = hi = v;
+      first = false;
+    } else {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  ASYNCDR_EXPECTS_MSG(!first, "bank has no honest sources");
+  return {lo, hi};
+}
+
+bool SourceBank::in_honest_range(std::size_t cell, std::int64_t value) const {
+  const auto [lo, hi] = honest_range(cell);
+  return value >= lo && value <= hi;
+}
+
+}  // namespace asyncdr::oracle

@@ -1,0 +1,57 @@
+// The off-chain side of a blockchain oracle: m data sources, up to a psi
+// fraction of which are Byzantine. Honest sources report per-cell values
+// drawn near a common ground truth (real providers disagree slightly);
+// Byzantine sources serve arbitrary — but static — corrupted arrays.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "oracle/value_source.hpp"
+
+namespace asyncdr::oracle {
+
+/// A fleet of data sources with a known (to the experiment, not the
+/// protocol) honest/Byzantine split.
+class SourceBank {
+ public:
+  struct Spec {
+    std::size_t sources = 8;     ///< m
+    std::size_t cells = 16;      ///< V
+    std::size_t value_bits = 16; ///< w
+    double psi = 0.25;           ///< Byzantine source fraction
+    /// Honest per-cell disagreement: values are base +- noise.
+    std::int64_t noise = 2;
+    std::uint64_t seed = 1;
+  };
+
+  /// Builds a bank per the spec: ground-truth cell values, honest sources
+  /// jittered by +-noise, floor(psi*m) Byzantine sources with adversarial
+  /// cell values (far outside the honest range).
+  static SourceBank build(const Spec& spec);
+
+  std::size_t count() const { return sources_.size(); }
+  std::size_t byzantine_count() const;
+  const ValueSource& source(std::size_t i) const;
+  bool is_byzantine(std::size_t i) const;
+
+  /// [min, max] of honest sources' values for one cell — the §4 honest
+  /// range that every published value must fall into (ODD).
+  std::pair<std::int64_t, std::int64_t> honest_range(std::size_t cell) const;
+
+  /// True if `value` lies in the honest range of `cell`.
+  bool in_honest_range(std::size_t cell, std::int64_t value) const;
+
+  const Spec& spec() const { return spec_; }
+
+ private:
+  SourceBank(Spec spec, std::vector<ValueSource> sources,
+             std::vector<bool> byzantine);
+
+  Spec spec_;
+  std::vector<ValueSource> sources_;
+  std::vector<bool> byzantine_;
+};
+
+}  // namespace asyncdr::oracle

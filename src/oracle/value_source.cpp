@@ -1,0 +1,39 @@
+#include "oracle/value_source.hpp"
+
+#include "common/check.hpp"
+
+namespace asyncdr::oracle {
+
+ValueSource::ValueSource(std::vector<std::int64_t> cells,
+                         std::size_t value_bits)
+    : cells_(std::move(cells)), value_bits_(value_bits) {
+  ASYNCDR_EXPECTS(!cells_.empty());
+  ASYNCDR_EXPECTS(value_bits_ >= 1 && value_bits_ <= 63);
+  bits_ = BitVec(cells_.size() * value_bits_);
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    const std::int64_t v = cells_[c];
+    ASYNCDR_EXPECTS_MSG(v >= 0 && v < (std::int64_t{1} << value_bits_),
+                        "cell value out of range for value_bits");
+    for (std::size_t b = 0; b < value_bits_; ++b) {
+      bits_.set(c * value_bits_ + b, (v >> b) & 1);
+    }
+  }
+}
+
+std::int64_t ValueSource::read(std::size_t cell) const {
+  ASYNCDR_EXPECTS(cell < cells_.size());
+  return cells_[cell];
+}
+
+std::int64_t ValueSource::decode(const BitVec& downloaded,
+                                 std::size_t cell) const {
+  ASYNCDR_EXPECTS(downloaded.size() == bits_.size());
+  ASYNCDR_EXPECTS(cell < cells_.size());
+  std::int64_t v = 0;
+  for (std::size_t b = 0; b < value_bits_; ++b) {
+    if (downloaded.get(cell * value_bits_ + b)) v |= std::int64_t{1} << b;
+  }
+  return v;
+}
+
+}  // namespace asyncdr::oracle

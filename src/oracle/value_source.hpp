@@ -1,0 +1,42 @@
+// Numeric data sources for the blockchain-oracle application (§4): a source
+// stores V cells of w-bit values (stock prices, weather readings, ...). The
+// DR-model Download protocols operate on the source's bit-level encoding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hpp"
+
+namespace asyncdr::oracle {
+
+/// One external data source holding `cells` values of `value_bits` bits.
+/// Values are immutable for the run — the paper's static-data assumption
+/// (dynamic data is its stated open problem).
+class ValueSource {
+ public:
+  ValueSource(std::vector<std::int64_t> cells, std::size_t value_bits);
+
+  std::size_t cells() const { return cells_.size(); }
+  std::size_t value_bits() const { return value_bits_; }
+  /// Total bit-length of the encoded array (= cells * value_bits).
+  std::size_t total_bits() const { return bits_.size(); }
+
+  /// Whole-cell read, as the naive ODC performs it.
+  std::int64_t read(std::size_t cell) const;
+
+  /// The array's bit encoding (cell-major, LSB-first within a cell) — what
+  /// a Download protocol instance retrieves.
+  const BitVec& bits() const { return bits_; }
+
+  /// Decodes cell `cell` out of an arbitrary downloaded bit array with this
+  /// source's geometry.
+  std::int64_t decode(const BitVec& downloaded, std::size_t cell) const;
+
+ private:
+  std::vector<std::int64_t> cells_;
+  std::size_t value_bits_;
+  BitVec bits_;
+};
+
+}  // namespace asyncdr::oracle

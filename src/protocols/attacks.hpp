@@ -1,0 +1,99 @@
+// Byzantine attack peers. Each implements dr::Peer with adversarial
+// behaviour targeted at one of the protocols; the upper-bound tests and
+// benches run every protocol against the whole applicable family. Attack
+// peers are always marked faulty in the World, so their queries and
+// messages never count toward the reported complexities.
+#pragma once
+
+#include <memory>
+
+#include "dr/peer.hpp"
+#include "protocols/committee.hpp"
+#include "protocols/params.hpp"
+#include "sim/message.hpp"
+
+namespace asyncdr::proto {
+
+/// Sends nothing, queries nothing — indistinguishable from an immediate
+/// crash, the baseline Byzantine behaviour.
+class SilentByzPeer final : public dr::Peer {
+ public:
+  void on_start() override {}
+
+ protected:
+  void on_message(sim::PeerId, const sim::Payload&) override {}
+};
+
+/// Broadcasts syntactically valid payloads of a foreign type plus
+/// malformed-size protocol payloads; honest peers must ignore both.
+class GarbageByzPeer final : public dr::Peer {
+ public:
+  void on_start() override;
+
+ protected:
+  void on_message(sim::PeerId, const sim::Payload&) override;
+
+ private:
+  struct Noise final : sim::Payload {
+    std::size_t size_bits() const override { return 64; }
+    std::string type_name() const override { return "attack::Noise"; }
+  };
+  std::size_t sent_ = 0;
+};
+
+/// Committee-protocol attacker: votes wrong values on its committee bits.
+class CommitteeLiarPeer final : public dr::Peer {
+ public:
+  enum class Mode {
+    kFlipAll,      ///< the exact complement of the truth on every bit
+    kRandom,       ///< random values
+    kEquivocate,   ///< truth to even-ID receivers, complement to odd
+  };
+  explicit CommitteeLiarPeer(Mode mode) : mode_(mode) {}
+
+  void on_start() override;
+
+ protected:
+  void on_message(sim::PeerId, const sim::Payload&) override {}
+
+ private:
+  Mode mode_;
+};
+
+/// Randomized-protocol attacker: every Byzantine instance reports the SAME
+/// fabricated string for a target segment in every cycle (vote stuffing —
+/// with t >= tau the fake enters every honest decision tree). The fake is
+/// the bitwise complement of the truth, maximizing separator queries.
+class VoteStuffPeer final : public dr::Peer {
+ public:
+  /// cycles = 1 for the 2-cycle protocol, total-1 for the multi-cycle one.
+  VoteStuffPeer(RandParams params, std::size_t target_segment);
+
+  void on_start() override;
+
+ protected:
+  void on_message(sim::PeerId, const sim::Payload&) override {}
+
+ private:
+  RandParams params_;
+  std::size_t target_;
+};
+
+/// Randomized-protocol attacker: sends a DIFFERENT random fake string to
+/// every receiver for a random segment each cycle (equivocation). Each fake
+/// gets one vote per honest receiver, so it dilutes below tau — honest
+/// peers should shrug it off.
+class EquivocatorPeer final : public dr::Peer {
+ public:
+  explicit EquivocatorPeer(RandParams params);
+
+  void on_start() override;
+
+ protected:
+  void on_message(sim::PeerId, const sim::Payload&) override {}
+
+ private:
+  RandParams params_;
+};
+
+}  // namespace asyncdr::proto

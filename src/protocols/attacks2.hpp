@@ -1,0 +1,50 @@
+// Second-wave Byzantine attacks: sharper strategies aimed at the
+// randomized protocols' decision trees and quorum waits.
+#pragma once
+
+#include "dr/peer.hpp"
+#include "protocols/params.hpp"
+
+namespace asyncdr::proto {
+
+/// "Comb" attack on the decision tree: Byzantine instance i reports, for
+/// the target segment, a fake that equals the truth except at position
+/// (len-1-i). Distinct fakes each earn their sender's single vote, so with
+/// tau = 1-ish thresholds every fake becomes a candidate and the tree
+/// degenerates to its worst-case depth — the attack that realizes the
+/// paper's sum_i R_i cost bound. With tau > 1 the fakes dilute below the
+/// threshold and the attack collapses to noise; both regimes are measured
+/// in bench_randomized.
+class CombStuffPeer final : public dr::Peer {
+ public:
+  CombStuffPeer(RandParams params, std::size_t target_segment);
+
+  void on_start() override;
+
+ protected:
+  void on_message(sim::PeerId, const sim::Payload&) override {}
+
+ private:
+  RandParams params_;
+  std::size_t target_;
+};
+
+/// Quorum-rusher: floods syntactically valid but useless reports the
+/// instant it starts, trying to fill honest peers' k-t quorums with
+/// garbage before honest reports arrive. Tests the eta = k-2t analysis:
+/// even if all t Byzantine reports count toward the quorum, at least
+/// k-2t honest reports are in every quorum.
+class QuorumRusherPeer final : public dr::Peer {
+ public:
+  explicit QuorumRusherPeer(RandParams params);
+
+  void on_start() override;
+
+ protected:
+  void on_message(sim::PeerId, const sim::Payload&) override {}
+
+ private:
+  RandParams params_;
+};
+
+}  // namespace asyncdr::proto

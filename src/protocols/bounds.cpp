@@ -1,0 +1,92 @@
+#include "protocols/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace asyncdr::proto::bounds {
+
+namespace {
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+}  // namespace
+
+std::size_t naive_q(const dr::Config& cfg) { return cfg.n; }
+
+std::size_t crash_one_q(const dr::Config& cfg) {
+  const std::size_t block = ceil_div(cfg.n, cfg.k);
+  return block + ceil_div(block, cfg.k - 1);
+}
+
+std::size_t crash_multi_q(const dr::Config& cfg) {
+  const std::size_t t = cfg.max_faulty();
+  const std::size_t threshold = std::max(ceil_div(cfg.n, cfg.k), 2 * cfg.k);
+  // Phase r: each peer's share is its 1/k cut of every dead peer's
+  // reassigned set — at most ceil(u_r/k) plus one rounding bit per dead set
+  // (<= t of them). At most t peers go unheard, so
+  // u_{r+1} <= t * (ceil(u_r/k) + t). The protocol stops phasing at the
+  // direct-query threshold (or its phase cap) and queries the rest.
+  // Per phase, the hashed assignment gives each peer a near-u/k share and
+  // leaves at most ~u*t/k bits with the <= t unheard peers, both up to
+  // balls-in-bins concentration slack (3 sigma + a small additive floor).
+  // The recurrence majorizes the real execution phase by phase; since the
+  // real protocol may exit at ANY phase whose unknown count dipped below
+  // the threshold — paying up to `threshold` direct queries — the bound
+  // adds max(threshold, final unknown) rather than the final unknown alone.
+  const auto slack = [](double mean) { return 3.0 * std::sqrt(mean) + 8.0; };
+  double unknown = static_cast<double>(cfg.n);
+  double total = 0;
+  const double kd = static_cast<double>(cfg.k);
+  const double td = static_cast<double>(t);
+  for (std::size_t r = 0; r < 220 && unknown > static_cast<double>(threshold);
+       ++r) {
+    const double share_mean = unknown / kd;
+    total += share_mean + slack(share_mean);
+    const double next_mean = unknown * td / kd;
+    const double next = next_mean + slack(next_mean);
+    if (next >= unknown) break;  // stall: protocol caps and queries the rest
+    unknown = next;
+  }
+  return static_cast<std::size_t>(std::ceil(total)) +
+         std::max(threshold, static_cast<std::size_t>(std::ceil(unknown)));
+}
+
+std::size_t committee_q(const dr::Config& cfg) {
+  const std::size_t c = 2 * cfg.max_faulty() + 1;
+  return ceil_div(cfg.n * c, cfg.k) + 1;
+}
+
+std::size_t committee_m(const dr::Config& cfg) {
+  const std::size_t payload_bits = committee_q(cfg) + 64;
+  const std::size_t units = ceil_div(payload_bits, cfg.message_bits);
+  return cfg.k * (cfg.k - 1) * units;
+}
+
+double committee_t(const dr::Config& cfg) {
+  const std::size_t payload_bits = committee_q(cfg) + 64;
+  const std::size_t units = ceil_div(payload_bits, cfg.message_bits);
+  return static_cast<double>(units - 1) + 1.0;
+}
+
+std::size_t two_cycle_q(const dr::Config& cfg, const RandParams& params) {
+  if (params.naive_fallback) return cfg.n;
+  // Segment query + decision-tree separators. Every received string can
+  // contribute at most one separator per tree level it survives; the
+  // paper's bound is sum_i R_i <= k (one report per peer). Allow the k
+  // Byzantine-free reports plus the t stuffed ones per segment in the worst
+  // case: 2k is a comfortable whp allowance.
+  return ceil_div(cfg.n, params.segments) + 2 * cfg.k + 1;
+}
+
+std::size_t multi_cycle_q(const dr::Config& cfg, const RandParams& params) {
+  if (params.naive_fallback) return cfg.n;
+  const auto cycles = static_cast<std::size_t>(
+      std::ceil(std::log2(static_cast<double>(params.segments)))) + 1;
+  // n/s for cycle 1, then at most (reports-per-cycle) separators per cycle.
+  return ceil_div(cfg.n, params.segments) + 2 * cfg.k * cycles + 1;
+}
+
+double majority_attack_success_lb(std::size_t q, std::size_t n) {
+  if (q >= n) return 0.0;
+  return 1.0 - static_cast<double>(q) / static_cast<double>(n);
+}
+
+}  // namespace asyncdr::proto::bounds

@@ -1,0 +1,52 @@
+// Closed-form query-complexity bounds from the paper's theorems, evaluated
+// with explicit constants. Tests assert "measured <= bound"; benches print
+// measured next to bound so the reproduction's shape is auditable.
+#pragma once
+
+#include <cstddef>
+
+#include "dr/config.hpp"
+#include "protocols/params.hpp"
+
+namespace asyncdr::proto::bounds {
+
+/// Naive protocol: exactly n.
+std::size_t naive_q(const dr::Config& cfg);
+
+/// Theorem 2.3 (Algorithm 1): ceil(n/k) + ceil(ceil(n/k)/(k-1)).
+std::size_t crash_one_q(const dr::Config& cfg);
+
+/// Lemma 2.11 / Theorem 2.13 (Algorithm 2): the geometric phase sum
+/// sum_r (beta'^{r} * n / k) with beta' = t/k, each term carrying the
+/// hashed-assignment balls-in-bins concentration slack, plus the
+/// direct-query tail max(ceil(n/k), 2k).
+std::size_t crash_multi_q(const dr::Config& cfg);
+
+/// Theorem 3.4 (committee protocol): number of committees containing one
+/// peer = ceil(n * (2t+1) / k) + 1 slack.
+std::size_t committee_q(const dr::Config& cfg);
+
+/// Committee protocol message complexity: every peer broadcasts one batched
+/// vote payload of ceil(n(2t+1)/k)+64 bits = that many B-bit unit messages
+/// to k-1 peers.
+std::size_t committee_m(const dr::Config& cfg);
+
+/// Committee protocol time complexity: one batched broadcast serialized on
+/// each link (the paper's n(2t+1)/(kB) term) plus one latency unit.
+double committee_t(const dr::Config& cfg);
+
+/// Theorem 3.7 (2-cycle): segment + decision-tree cost, n/s + k, with a
+/// explicit constant-factor allowance for separator queries.
+std::size_t two_cycle_q(const dr::Config& cfg, const RandParams& params);
+
+/// Theorem 3.12 (multi-cycle): expected cost n/s + O(k log s); the bound
+/// here is the w.h.p. per-run allowance used by tests.
+std::size_t multi_cycle_q(const dr::Config& cfg, const RandParams& params);
+
+/// Theorem 3.2: with beta >= 1/2, any protocol where every peer queries at
+/// most q bits fails with probability >= (1 - q/n) against the two-world
+/// adversary (up to the quiescence term). Returns that lower bound on the
+/// attack success probability.
+double majority_attack_success_lb(std::size_t q, std::size_t n);
+
+}  // namespace asyncdr::proto::bounds

@@ -1,0 +1,122 @@
+#include "dr/world.hpp"
+#include "protocols/byzmulti.hpp"
+
+#include "common/check.hpp"
+#include "protocols/decision_tree.hpp"
+
+namespace asyncdr::proto {
+
+MultiCyclePeer::MultiCyclePeer(RandParams params) : params_(params) {}
+
+void MultiCyclePeer::init_structures() {
+  if (!layouts_.empty()) return;
+  layouts_.emplace_back(n(), params_.segments);
+  while (layouts_.back().count() > 1) {
+    layouts_.push_back(layouts_.back().coarsen());
+  }
+  total_cycles_ = layouts_.size();
+  for (const SegmentLayout& layout : layouts_) {
+    banks_.emplace_back(layout.count());
+  }
+  reporters_.resize(total_cycles_);
+}
+
+void MultiCyclePeer::on_start() {
+  if (params_.naive_fallback) {
+    finish(query_range(0, n()));
+    return;
+  }
+  init_structures();
+
+  // Cycle 1 = Protocol 4's first cycle: pick, query in full, report.
+  cycle_ = 1;
+  my_pick_ = static_cast<std::size_t>(rng().below(layouts_[0].count()));
+  const Interval b = layouts_[0].bounds(my_pick_);
+  my_value_ = query_range(b.lo, b.length());
+  banks_[0].record(my_pick_, id(), my_value_);
+  reporters_[0].insert(id());
+  broadcast(std::make_shared<rnd::Report>(1, my_pick_, my_value_));
+  started_ = true;
+  try_advance();
+}
+
+void MultiCyclePeer::on_message(sim::PeerId from, const sim::Payload& payload) {
+  if (params_.naive_fallback) return;
+  const auto* report = sim::payload_as<rnd::Report>(payload);
+  if (report == nullptr) return;
+  init_structures();
+  // Reports are broadcast in cycles 1 .. total-1 only (nobody consumes a
+  // final-cycle report).
+  if (report->cycle < 1 || report->cycle >= total_cycles_) return;
+  const SegmentLayout& layout = layouts_[report->cycle - 1];
+  if (report->seg >= layout.count()) return;
+  if (report->value.size() != layout.length(report->seg)) return;
+  banks_[report->cycle - 1].record(report->seg, from, report->value);
+  reporters_[report->cycle - 1].insert(from);
+  try_advance();
+}
+
+void MultiCyclePeer::try_advance() {
+  if (terminated() || !started_) return;
+  const std::size_t quorum = k() - world().config().max_faulty();
+  while (cycle_ < total_cycles_ &&
+         reporters_[cycle_ - 1].size() >= quorum) {
+    start_cycle(cycle_ + 1);
+    if (terminated()) return;
+  }
+}
+
+void MultiCyclePeer::start_cycle(std::size_t j) {
+  ASYNCDR_INVARIANT(j >= 2 && j <= total_cycles_);
+  const SegmentLayout& layout = layouts_[j - 1];
+  const SegmentLayout& finer = layouts_[j - 2];
+
+  const auto pick = static_cast<std::size_t>(rng().below(layout.count()));
+
+  // Determine the picked coarse segment from its cycle-(j-1) halves.
+  BitVec value(layout.length(pick));
+  std::size_t at = 0;
+  for (std::size_t child : finer.children_of(pick)) {
+    const BitVec part = determine_segment(j - 1, child);
+    value.splice(at, part);
+    at += part.size();
+  }
+  ASYNCDR_INVARIANT(at == value.size());
+
+  cycle_ = j;
+  my_pick_ = pick;
+  my_value_ = value;
+
+  if (j < total_cycles_) {
+    banks_[j - 1].record(pick, id(), value);
+    reporters_[j - 1].insert(id());
+    broadcast(std::make_shared<rnd::Report>(j, pick, value));
+    return;
+  }
+  // Final cycle: the single segment is the whole input.
+  finish(my_value_);
+}
+
+BitVec MultiCyclePeer::determine_segment(std::size_t j, std::size_t seg) {
+  const SegmentLayout& layout = layouts_[j - 1];
+  const Interval b = layout.bounds(seg);
+  // My own previous pick needs no resolution.
+  if (j == cycle_ && seg == my_pick_) return my_value_;
+
+  const std::size_t tau = params_.tau_for(layout.count());
+  const std::vector<BitVec> candidates = banks_[j - 1].frequent(seg, tau);
+  if (candidates.empty()) {
+    ++fallback_segments_;
+    return query_range(b.lo, b.length());
+  }
+  const DecisionTree tree(candidates);
+  const BitVec& winner = tree.determine(
+      [&](std::size_t index) {
+        ++tree_queries_;
+        return query(index);
+      },
+      b.lo);
+  return winner;
+}
+
+}  // namespace asyncdr::proto

@@ -1,0 +1,63 @@
+#include "protocols/chunk.hpp"
+
+#include "common/check.hpp"
+
+namespace asyncdr::proto {
+
+BitChunk::BitChunk(IntervalSet idx, BitVec vals)
+    : indices(std::move(idx)), values(std::move(vals)) {
+  ASYNCDR_EXPECTS(indices.count() == values.size());
+}
+
+std::size_t BitChunk::size_bits() const {
+  return values.size() + 128 * indices.intervals().size();
+}
+
+bool BitChunk::covers(const IntervalSet& wanted) const {
+  IntervalSet missing = wanted;
+  missing.subtract(indices);
+  return missing.empty();
+}
+
+void BitChunk::apply_to(BitVec& out, IntervalSet& known) const {
+  std::size_t j = 0;
+  for (const Interval& iv : indices.intervals()) {
+    for (std::size_t i = iv.lo; i < iv.hi; ++i) {
+      ASYNCDR_EXPECTS(i < out.size());
+      out.set(i, values.get(j++));
+    }
+  }
+  known.unite(indices);
+}
+
+MaskChunk::MaskChunk(BitVec m, BitVec vals)
+    : mask(std::move(m)), values(std::move(vals)) {
+  ASYNCDR_EXPECTS(mask.popcount() == values.size());
+}
+
+void MaskChunk::apply_to(BitVec& out, BitVec& known_mask) const {
+  ASYNCDR_EXPECTS(mask.size() == out.size());
+  ASYNCDR_EXPECTS(mask.size() == known_mask.size());
+  std::size_t j = 0;
+  mask.for_each_set([&](std::size_t i) { out.set(i, values.get(j++)); });
+  known_mask.or_with(mask);
+}
+
+MaskChunk MaskChunk::extract(const BitVec& src, const BitVec& mask) {
+  ASYNCDR_EXPECTS(src.size() == mask.size());
+  BitVec vals(mask.popcount());
+  std::size_t j = 0;
+  mask.for_each_set([&](std::size_t i) { vals.set(j++, src.get(i)); });
+  return MaskChunk(mask, std::move(vals));
+}
+
+BitChunk BitChunk::extract(const BitVec& src, const IntervalSet& idx) {
+  BitVec vals(idx.count());
+  std::size_t j = 0;
+  for (const Interval& iv : idx.intervals()) {
+    for (std::size_t i = iv.lo; i < iv.hi; ++i) vals.set(j++, src.get(i));
+  }
+  return BitChunk(idx, std::move(vals));
+}
+
+}  // namespace asyncdr::proto

@@ -1,0 +1,106 @@
+#include "dr/world.hpp"
+#include "protocols/committee.hpp"
+
+#include "common/check.hpp"
+
+namespace asyncdr::proto {
+
+CommitteeAssignment::CommitteeAssignment(std::size_t n, std::size_t k,
+                                         std::size_t t)
+    : n_(n), k_(k), t_(t), c_(2 * t + 1) {
+  ASYNCDR_EXPECTS_MSG(c_ <= k_,
+                      "committee protocol needs beta < 1/2 (2t+1 <= k)");
+}
+
+bool CommitteeAssignment::is_member(sim::PeerId p, std::size_t bit) const {
+  ASYNCDR_EXPECTS(p < k_ && bit < n_);
+  return ((p + k_ - (bit * c_) % k_) % k_) < c_;
+}
+
+std::size_t CommitteeAssignment::position(sim::PeerId p, std::size_t bit) const {
+  ASYNCDR_EXPECTS(is_member(p, bit));
+  return (p + k_ - (bit * c_) % k_) % k_;
+}
+
+std::vector<std::size_t> CommitteeAssignment::bits_of(sim::PeerId p) const {
+  std::vector<std::size_t> bits;
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (is_member(p, j)) bits.push_back(j);
+  }
+  return bits;
+}
+
+std::vector<sim::PeerId> CommitteeAssignment::members_of(std::size_t bit) const {
+  ASYNCDR_EXPECTS(bit < n_);
+  std::vector<sim::PeerId> members;
+  members.reserve(c_);
+  for (std::size_t i = 0; i < c_; ++i) members.push_back((bit * c_ + i) % k_);
+  return members;
+}
+
+void CommitteePeer::on_start() {
+  init();
+  // Query every bit of my committees; my own queries are ground truth, so
+  // those bits decide immediately.
+  const std::vector<std::size_t> mine = assignment_->bits_of(id());
+  const BitVec values = query_indices(mine);
+  for (std::size_t j = 0; j < mine.size(); ++j) {
+    decide(mine[j], values.get(j));
+  }
+  broadcast(std::make_shared<committee::Votes>(values));
+  votes_sent_ = true;
+  maybe_finish();
+}
+
+void CommitteePeer::on_message(sim::PeerId from, const sim::Payload& payload) {
+  const auto* votes = sim::payload_as<committee::Votes>(payload);
+  if (votes == nullptr) return;  // foreign/garbage payload: ignore
+  init();
+  process_votes(from, *votes);
+  maybe_finish();
+}
+
+void CommitteePeer::init() {
+  if (started_) return;
+  started_ = true;
+  const std::size_t t = world().config().max_faulty();
+  assignment_ = std::make_unique<CommitteeAssignment>(n(), k(), t);
+  out_ = BitVec(n());
+  decided_.assign(n(), false);
+  votes0_.assign(n(), 0);
+  votes1_.assign(n(), 0);
+  voted_.assign(n(), std::vector<bool>(assignment_->committee_size(), false));
+}
+
+void CommitteePeer::process_votes(sim::PeerId from,
+                                  const committee::Votes& votes) {
+  if (from >= k()) return;
+  const std::vector<std::size_t> bits = assignment_->bits_of(from);
+  // A malformed (wrong-length) vote vector can only come from a Byzantine
+  // sender; drop it entirely.
+  if (votes.values.size() != bits.size()) return;
+
+  for (std::size_t j = 0; j < bits.size(); ++j) {
+    const std::size_t bit = bits[j];
+    if (decided_[bit]) continue;
+    const std::size_t pos = assignment_->position(from, bit);
+    if (voted_[bit][pos]) continue;  // duplicate vote from this member
+    voted_[bit][pos] = true;
+    const bool value = votes.values.get(j);
+    const std::uint32_t count = value ? ++votes1_[bit] : ++votes0_[bit];
+    if (count >= assignment_->threshold()) decide(bit, value);
+  }
+}
+
+void CommitteePeer::decide(std::size_t bit, bool value) {
+  if (decided_[bit]) return;
+  decided_[bit] = true;
+  ++decided_count_;
+  out_.set(bit, value);
+}
+
+void CommitteePeer::maybe_finish() {
+  if (!terminated() && votes_sent_ && decided_count_ == n()) finish(out_);
+}
+
+}  // namespace asyncdr::proto

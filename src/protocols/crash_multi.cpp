@@ -1,0 +1,320 @@
+#include "protocols/crash_multi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "common/check.hpp"
+#include "dr/world.hpp"
+#include "protocols/segments.hpp"
+
+namespace asyncdr::proto {
+
+using crashm::Full;
+using crashm::Req1;
+using crashm::Req2;
+using crashm::Resp1;
+using crashm::Resp2;
+
+namespace crashm {
+
+sim::PeerId hashed_owner(std::size_t b, std::size_t r, std::size_t k) {
+  // SplitMix64-style finalizer over (b, r); any fixed high-quality mix
+  // works — it only has to be the SAME function at every peer and
+  // decorrelated across phases.
+  std::uint64_t z = (static_cast<std::uint64_t>(b) + 0x9e3779b97f4a7c15ull *
+                                                         static_cast<std::uint64_t>(r));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<sim::PeerId>(z % k);
+}
+
+const std::vector<BitVec>& owner_masks(std::size_t n, std::size_t k,
+                                       std::size_t r) {
+  // The simulation is single-threaded; a plain static cache suffices.
+  static std::map<std::tuple<std::size_t, std::size_t, std::size_t>,
+                  std::vector<BitVec>>
+      cache;
+  auto [it, inserted] = cache.try_emplace(std::tuple{n, k, r});
+  if (inserted) {
+    std::vector<BitVec> masks(k, BitVec(n));
+    if (r == 1) {
+      const SegmentLayout blocks(n, k);
+      for (sim::PeerId q = 0; q < k; ++q) {
+        const Interval b = blocks.bounds(q);
+        if (b.length() > 0) {
+          for (std::size_t i = b.lo; i < b.hi; ++i) masks[q].set(i, true);
+        }
+      }
+    } else {
+      for (std::size_t b = 0; b < n; ++b) {
+        masks[hashed_owner(b, r, k)].set(b, true);
+      }
+    }
+    it->second = std::move(masks);
+  }
+  return it->second;
+}
+
+}  // namespace crashm
+
+CrashMultiPeer::CrashMultiPeer() : CrashMultiPeer(Options{}) {}
+
+CrashMultiPeer::CrashMultiPeer(Options opts) : opts_(opts) {}
+
+std::size_t CrashMultiPeer::quorum() const {
+  return world().config().min_honest();
+}
+
+std::size_t CrashMultiPeer::direct_threshold() const {
+  if (opts_.direct_threshold > 0) return opts_.direct_threshold;
+  return std::max<std::size_t>((n() + k() - 1) / k(), 2 * k());
+}
+
+std::size_t CrashMultiPeer::max_phases() const {
+  if (opts_.max_phases > 0) return opts_.max_phases;
+  const std::size_t t = world().config().max_faulty();
+  if (t == 0) return 1;
+  // Unknown bits shrink by ~t/k per phase; log_{k/t}(n) phases reach the
+  // direct-query threshold. +3 slack for rounding stalls.
+  const double ratio = static_cast<double>(k()) / static_cast<double>(t);
+  const double phases =
+      std::log(static_cast<double>(n()) + 2.0) / std::log(std::max(ratio, 1.01));
+  return std::min<std::size_t>(200, static_cast<std::size_t>(phases) + 3);
+}
+
+BitVec CrashMultiPeer::owned_share(const BitVec& base, std::size_t r,
+                                   sim::PeerId who) const {
+  BitVec share = crashm::owner_masks(n(), k(), r)[who];
+  share.and_with(base);
+  return share;
+}
+
+void CrashMultiPeer::on_start() {
+  ensure_init();
+  start_phase(1);
+}
+
+void CrashMultiPeer::ensure_init() {
+  // Messages may arrive before this peer's (adversary-chosen) start time.
+  if (out_.size() != n()) {
+    out_ = BitVec(n());
+    known_ = BitVec(n());
+  }
+}
+
+void CrashMultiPeer::start_phase(std::size_t r) {
+  phase_ = r;
+  const std::size_t unknown_count = n() - known_.popcount();
+  if (unknown_count <= direct_threshold() || r > max_phases()) {
+    complete_now();
+    return;
+  }
+
+  // Snapshot the unknown set: the phase's assignment is defined on it.
+  BitVec all_unknown(n(), true);
+  all_unknown.andnot_with(known_);
+  phase_unknown_ = std::move(all_unknown);
+
+  // Stage 1: query my own share and pull everyone else's.
+  query_mask(owned_share(phase_unknown_, r, id()));
+  if (heard_.size() < r) heard_.resize(r);
+  heard_[r - 1].insert(id());
+  missing_.clear();
+  resp2_count_ = 0;
+  progress_ = Progress::kWait1;
+  broadcast(std::make_shared<Req1>(r, phase_unknown_));
+  process_deferred();
+  try_advance();
+}
+
+void CrashMultiPeer::query_mask(const BitVec& mask) {
+  BitVec to_query = mask;
+  to_query.andnot_with(known_);
+  std::vector<std::size_t> idx;
+  idx.reserve(to_query.popcount());
+  to_query.for_each_set([&](std::size_t b) { idx.push_back(b); });
+  if (idx.empty()) return;
+  const BitVec values = query_indices(idx);
+  for (std::size_t j = 0; j < idx.size(); ++j) {
+    out_.set(idx[j], values.get(j));
+    known_.set(idx[j], true);
+  }
+}
+
+void CrashMultiPeer::on_message(sim::PeerId from, const sim::Payload& payload) {
+  ensure_init();
+  if (const auto* full = sim::payload_as<Full>(payload)) {
+    // Claim 2's rescue: adopt, re-push once (so peers waiting on *me* are
+    // rescued too), terminate.
+    if (full->all.size() != n()) return;
+    out_ = full->all;
+    known_ = BitVec(n(), true);
+    complete_now();
+    return;
+  }
+  if (const auto* resp1 = sim::payload_as<Resp1>(payload)) {
+    if (resp1->chunk.mask.size() == n()) {
+      resp1->chunk.apply_to(out_, known_);
+      if (heard_.size() < resp1->phase) heard_.resize(resp1->phase);
+      heard_[resp1->phase - 1].insert(from);
+    }
+    try_advance();
+    return;
+  }
+  if (const auto* resp2 = sim::payload_as<Resp2>(payload)) {
+    for (const auto& [peer, chunk] : resp2->answers) {
+      if (chunk && chunk->mask.size() == n()) chunk->apply_to(out_, known_);
+    }
+    if (resp2->phase == phase_ && progress_ == Progress::kWait2) {
+      ++resp2_count_;
+    }
+    try_advance();
+    return;
+  }
+  if (const auto* req1 = sim::payload_as<Req1>(payload)) {
+    if (req1->unknown.size() != n()) return;
+    if (req1_eligible(*req1)) {
+      handle_req1(from, *req1);
+    } else {
+      deferred_.push_back(Deferred{from, *req1, std::nullopt});
+    }
+    return;
+  }
+  if (const auto* req2 = sim::payload_as<Req2>(payload)) {
+    if (req2->unknown.size() != n()) return;
+    if (req2_eligible(*req2)) {
+      handle_req2(from, *req2);
+    } else {
+      deferred_.push_back(Deferred{from, std::nullopt, *req2});
+    }
+    return;
+  }
+}
+
+bool CrashMultiPeer::req1_eligible(const Req1& req) const {
+  // Answerable once I have done my own stage-1 queries of that phase.
+  return phase_ > req.phase ||
+         (phase_ == req.phase && progress_ != Progress::kIdle);
+}
+
+bool CrashMultiPeer::req2_eligible(const Req2& req) const {
+  // Answerable once I reached stage 3 of that phase.
+  return phase_ > req.phase ||
+         (phase_ == req.phase && progress_ == Progress::kWait2);
+}
+
+void CrashMultiPeer::handle_req1(sim::PeerId from, const Req1& req) {
+  const BitVec wanted = owned_share(req.unknown, req.phase, id());
+  // Claim 1 (structural under the canonical assignment): every bit the
+  // requester assigned to me and still lacks is a bit I either knew
+  // already or queried in my own stage 1 of that phase.
+  ASYNCDR_INVARIANT_MSG(wanted.is_subset_of(known_),
+                        "Claim 1 violated: asked for a bit I don't know");
+  send(from,
+       std::make_shared<Resp1>(req.phase, MaskChunk::extract(out_, wanted)));
+}
+
+void CrashMultiPeer::handle_req2(sim::PeerId from, const Req2& req) {
+  const bool have_phase = heard_.size() >= req.phase;
+  std::vector<std::pair<sim::PeerId, std::optional<MaskChunk>>> answers;
+  answers.reserve(req.missing.size());
+  for (sim::PeerId absent : req.missing) {
+    if (absent >= k()) continue;
+    const bool i_heard = have_phase && heard_[req.phase - 1].contains(absent);
+    if (i_heard) {
+      const BitVec wanted = owned_share(req.unknown, req.phase, absent);
+      ASYNCDR_INVARIANT_MSG(
+          wanted.is_subset_of(known_),
+          "Claim 1 violated: heard the absent peer but lack its bits");
+      answers.emplace_back(absent, MaskChunk::extract(out_, wanted));
+    } else {
+      answers.emplace_back(absent, std::nullopt);  // "me neither"
+    }
+  }
+  send(from, std::make_shared<Resp2>(req.phase, std::move(answers)));
+}
+
+void CrashMultiPeer::try_advance() {
+  if (progress_ == Progress::kWait1) {
+    // Thm 2.13 refinement: stop waiting the moment late answers already
+    // cover everything. The base protocol (fast_cancel off) waits strictly
+    // for its quorum, as Algorithm 2 is written.
+    if (opts_.fast_cancel && known_.popcount() == n()) {
+      complete_now();
+      return;
+    }
+    if (heard_[phase_ - 1].size() >= quorum()) {
+      // Stage 2 -> 3: name the unheard peers.
+      missing_.clear();
+      for (sim::PeerId q = 0; q < k(); ++q) {
+        if (!heard_[phase_ - 1].contains(q)) missing_.push_back(q);
+      }
+      progress_ = Progress::kWait2;
+      resp2_count_ = 1;  // my own implicit all-"me neither" response
+      if (!missing_.empty()) {
+        broadcast(std::make_shared<Req2>(phase_, missing_, phase_unknown_));
+      }
+      process_deferred();
+      try_advance();
+    }
+    return;
+  }
+
+  if (progress_ == Progress::kWait2) {
+    // In stage 3 the remaining unknown bits are exactly the missing peers'
+    // shares, so "every missing peer covered" coincides with full
+    // knowledge — one popcount decides the Thm 2.13 release.
+    if (opts_.fast_cancel && known_.popcount() == n()) {
+      complete_now();
+      return;
+    }
+    if (missing_.empty() || resp2_count_ >= quorum()) advance_phase();
+    return;
+  }
+}
+
+void CrashMultiPeer::advance_phase() {
+  progress_ = Progress::kIdle;
+  start_phase(phase_ + 1);
+}
+
+void CrashMultiPeer::complete_now() {
+  if (progress_ == Progress::kDone) return;
+  // Query whatever is still unknown directly.
+  BitVec rest(n(), true);
+  rest.andnot_with(known_);
+  query_mask(rest);
+  progress_ = Progress::kDone;
+  if (!full_sent_) {
+    full_sent_ = true;
+    broadcast(std::make_shared<Full>(out_));
+  }
+  finish(out_);
+}
+
+void CrashMultiPeer::process_deferred() {
+  std::vector<Deferred> keep;
+  auto pending = std::move(deferred_);
+  deferred_.clear();
+  for (auto& d : pending) {
+    if (d.req1) {
+      if (req1_eligible(*d.req1)) {
+        handle_req1(d.from, *d.req1);
+      } else {
+        keep.push_back(std::move(d));
+      }
+    } else if (d.req2) {
+      if (req2_eligible(*d.req2)) {
+        handle_req2(d.from, *d.req2);
+      } else {
+        keep.push_back(std::move(d));
+      }
+    }
+  }
+  for (auto& d : keep) deferred_.push_back(std::move(d));
+}
+
+}  // namespace asyncdr::proto

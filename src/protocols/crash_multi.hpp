@@ -1,0 +1,206 @@
+// Algorithm 2 of the paper: deterministic asynchronous Download tolerating
+// t = floor(beta*k) crash faults for ANY beta < 1, with optimal query
+// complexity O(n / ((1-beta) k)) (Theorems 2.13 / Lemma 2.11).
+//
+// Execution proceeds in phases of three stages:
+//   stage 1 — query my share of my unknown bits and ask every other peer
+//             for its share (pull request REQ1);
+//   stage 2 — wait for complete answers (RESP1) from >= (1-beta)k peers
+//             (counting myself); broadcast REQ2 naming the unheard peers;
+//   stage 3 — wait for >= (1-beta)k REQ2 responses (counting my own
+//             implicit "me neither"); learn what arrived; the still-unknown
+//             bits carry into the next phase under a fresh assignment.
+//
+// Assignment rule. Phase 1 assigns peer q the q-th contiguous block. For
+// phase r >= 2, bit b is owned by peer hash(b, r) mod k — a CANONICAL
+// pseudorandom rule every peer evaluates identically. This deviates from
+// the paper's Line 20 (each peer re-splits its missing peers' sets evenly):
+// the local-splitting rule needs all reassigning peers to hold identical
+// per-missing-peer sets, which fails once responses resolve different
+// subsets at different peers (positions misalign and two peers route the
+// same unknown bit to different owners). The canonical rule makes the
+// paper's Claim 1 — any two peers agree on every bit's owner — structural,
+// keeps the per-phase load balanced (u/k +- O(sqrt(u/k log k)) by standard
+// balls-in-bins concentration), and, because the hash decorrelates phases,
+// shrinks the unknown set by a ~beta factor per phase against ANY crash
+// set. bounds::crash_multi_q() accounts for the concentration slack.
+//
+// Termination: once the unknown set is at most max(ceil(n/k), 2k) bits (or
+// a phase cap is hit), the peer queries the remainder directly, pushes its
+// full output to everyone (the FULL rescue of Claim 2 that keeps slower
+// peers from waiting on terminated ones), and terminates.
+//
+// The Theorem 2.13 "fast cancel" refinement is on by default: a peer stuck
+// in stage 3 is released as soon as late RESP1s cover everything it was
+// waiting for, instead of having to collect the full response quorum.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "dr/peer.hpp"
+#include "protocols/chunk.hpp"
+#include "sim/message.hpp"
+
+namespace asyncdr::proto {
+
+/// Payloads and assignment mechanics of Algorithm 2.
+namespace crashm {
+
+/// Canonical owner of bit b in phase r >= 2 of a k-peer instance.
+sim::PeerId hashed_owner(std::size_t b, std::size_t r, std::size_t k);
+
+/// Per-peer ownership masks of one phase: masks[q].get(b) iff q owns bit b
+/// in phase r. Depends only on (n, k, r), so instances are shared
+/// process-wide; shares then reduce to word-level AND operations.
+const std::vector<BitVec>& owner_masks(std::size_t n, std::size_t k,
+                                       std::size_t r);
+
+/// Request header charge: the index sets a request describes are
+/// reconstructible from the requester's per-phase unheard lists (at most k
+/// peer IDs per phase), so requests are charged O(k) header bits rather
+/// than one bit per index — the paper's accounting.
+inline std::size_t request_header_bits(std::size_t k) { return 64 + 16 * k; }
+
+/// Stage-1 pull request: "send me your share of my unknown bits".
+struct Req1 final : sim::Payload {
+  std::size_t phase;
+  BitVec unknown;  ///< requester's unknown-bit mask at phase start
+
+  Req1(std::size_t ph, BitVec u) : phase(ph), unknown(std::move(u)) {}
+  std::size_t size_bits() const override {
+    return 8 + request_header_bits(16);
+  }
+  std::string type_name() const override { return "crashm::Req1"; }
+};
+
+/// Answer to Req1: the requested bit values.
+struct Resp1 final : sim::Payload {
+  std::size_t phase;
+  MaskChunk chunk;
+
+  Resp1(std::size_t ph, MaskChunk c) : phase(ph), chunk(std::move(c)) {}
+  std::size_t size_bits() const override { return 8 + chunk.size_bits(); }
+  std::string type_name() const override { return "crashm::Resp1"; }
+};
+
+/// Stage-2 request: "these peers never answered me — did they answer you?"
+struct Req2 final : sim::Payload {
+  std::size_t phase;
+  std::vector<sim::PeerId> missing;
+  BitVec unknown;  ///< requester's unknown-bit mask at phase start
+
+  Req2(std::size_t ph, std::vector<sim::PeerId> m, BitVec u)
+      : phase(ph), missing(std::move(m)), unknown(std::move(u)) {}
+  std::size_t size_bits() const override {
+    return 8 + request_header_bits(16) + 16 * missing.size();
+  }
+  std::string type_name() const override { return "crashm::Req2"; }
+};
+
+/// Answer to Req2: per missing peer, either its bits or "me neither".
+struct Resp2 final : sim::Payload {
+  std::size_t phase;
+  std::vector<std::pair<sim::PeerId, std::optional<MaskChunk>>> answers;
+
+  Resp2(std::size_t ph,
+        std::vector<std::pair<sim::PeerId, std::optional<MaskChunk>>> a)
+      : phase(ph), answers(std::move(a)) {}
+  std::size_t size_bits() const override {
+    std::size_t bits = 8;
+    for (const auto& [peer, chunk] : answers) {
+      bits += 17;  // peer id + me-neither flag
+      if (chunk) bits += chunk->size_bits();
+    }
+    return bits;
+  }
+  std::string type_name() const override { return "crashm::Resp2"; }
+};
+
+/// Terminating push of the full output array (Claim 2's rescue).
+struct Full final : sim::Payload {
+  BitVec all;
+
+  explicit Full(BitVec a) : all(std::move(a)) {}
+  std::size_t size_bits() const override { return 8 + all.size(); }
+  std::string type_name() const override { return "crashm::Full"; }
+};
+
+}  // namespace crashm
+
+/// A nonfaulty peer of Algorithm 2.
+class CrashMultiPeer final : public dr::Peer {
+ public:
+  struct Options {
+    /// Thm 2.13 optimization: release the stage-3 wait as soon as late
+    /// RESP1s cover every pending peer. Ablated in bench_crash.
+    bool fast_cancel = true;
+    /// Stop phasing and query the rest directly once the unknown count is
+    /// at most this. 0 = auto: max(ceil(n/k), 2k).
+    std::size_t direct_threshold = 0;
+    /// Hard cap on phases. 0 = auto from beta.
+    std::size_t max_phases = 0;
+  };
+
+  CrashMultiPeer();
+  explicit CrashMultiPeer(Options opts);
+
+  void on_start() override;
+
+  /// Phases entered before terminating (diagnostics for benches/tests).
+  std::size_t phases_run() const { return phase_; }
+
+ protected:
+  void on_message(sim::PeerId from, const sim::Payload& payload) override;
+
+ private:
+  enum class Progress { kIdle, kWait1, kWait2, kDone };
+
+  std::size_t quorum() const;  // (1-beta)k = k - t
+  std::size_t direct_threshold() const;
+  std::size_t max_phases() const;
+
+  /// Mask of bits in `base` owned by `who` in phase r (word-level AND with
+  /// the shared ownership masks).
+  BitVec owned_share(const BitVec& base, std::size_t r, sim::PeerId who) const;
+
+  void ensure_init();
+  void start_phase(std::size_t r);
+  void try_advance();
+  void advance_phase();
+  void complete_now();
+  void process_deferred();
+
+  void handle_req1(sim::PeerId from, const crashm::Req1& req);
+  void handle_req2(sim::PeerId from, const crashm::Req2& req);
+  bool req1_eligible(const crashm::Req1& req) const;
+  bool req2_eligible(const crashm::Req2& req) const;
+
+  void query_mask(const BitVec& mask);
+
+  Options opts_;
+  Progress progress_ = Progress::kIdle;
+  std::size_t phase_ = 0;
+
+  BitVec out_;
+  BitVec known_;  // mask
+
+  BitVec phase_unknown_;  // unknown mask snapshot at current phase start
+  std::vector<std::set<sim::PeerId>> heard_;  // C_r per phase (index r-1)
+  std::vector<sim::PeerId> missing_;          // D of the current phase
+  std::size_t resp2_count_ = 0;
+
+  bool full_sent_ = false;
+
+  struct Deferred {
+    sim::PeerId from;
+    std::optional<crashm::Req1> req1;
+    std::optional<crashm::Req2> req2;
+  };
+  std::vector<Deferred> deferred_;
+};
+
+}  // namespace asyncdr::proto

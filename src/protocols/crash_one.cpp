@@ -1,0 +1,197 @@
+#include "dr/world.hpp"
+#include "protocols/crash_one.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace asyncdr::proto {
+
+using crash1::Stage1;
+using crash1::Stage2Req;
+using crash1::Stage2Resp;
+
+void CrashOnePeer::on_start() {
+  ASYNCDR_EXPECTS_MSG(k() >= 3, "Algorithm 1 needs k >= 3");
+  ensure_init();
+  start_phase1();
+}
+
+void CrashOnePeer::ensure_init() {
+  // Messages may arrive before this peer's (adversary-chosen) start time.
+  if (out_.size() != n()) out_ = BitVec(n());
+}
+
+void CrashOnePeer::start_phase1() {
+  const Interval mine = blocks().bounds(id());
+  if (mine.length() > 0) {
+    const BitVec values = query_range(mine.lo, mine.length());
+    out_.splice(mine.lo, values);
+    known_.insert(mine.lo, mine.hi);
+  }
+  const IntervalSet mine_set = IntervalSet::of(mine.lo, mine.hi);
+  coverage_[{1, id()}] = mine_set;
+  broadcast(std::make_shared<Stage1>(1, BitChunk::extract(out_, mine_set)));
+  progress_ = Progress::kPhase1Wait1;
+  try_advance();
+}
+
+void CrashOnePeer::on_message(sim::PeerId from, const sim::Payload& payload) {
+  ensure_init();
+  if (const auto* s1 = sim::payload_as<Stage1>(payload)) {
+    s1->chunk.apply_to(out_, known_);
+    coverage_[{s1->phase, from}].unite(s1->chunk.indices);
+    try_advance();
+    return;
+  }
+  if (const auto* req = sim::payload_as<Stage2Req>(payload)) {
+    if (progress_ == Progress::kStart || progress_ == Progress::kPhase1Wait1) {
+      // The paper: delay the response until my own stage-2 wait finished.
+      pending_requests_.emplace_back(from, *req);
+    } else {
+      answer_request(from, *req);
+    }
+    return;
+  }
+  if (const auto* resp = sim::payload_as<Stage2Resp>(payload)) {
+    if (resp->has_bits) resp->chunk.apply_to(out_, known_);
+    if (missing_ && resp->missing == *missing_) {
+      ++responses_;
+      if (resp->has_bits) got_missing_bits_ = true;
+    }
+    try_advance();
+    return;
+  }
+}
+
+void CrashOnePeer::try_advance() {
+  if (progress_ == Progress::kPhase1Wait1) {
+    // Stage 2 of phase 1: wait for full phase-1 stage-1 coverage from at
+    // least k-1 peers (counting myself).
+    std::size_t heard = 0;
+    sim::PeerId unheard = sim::kNoPeer;
+    const SegmentLayout layout = blocks();
+    for (sim::PeerId q = 0; q < k(); ++q) {
+      const Interval b = layout.bounds(q);
+      const auto it = coverage_.find({1, q});
+      const bool covered =
+          b.length() == 0 ||
+          (it != coverage_.end() &&
+           it->second.count() >= b.length() &&
+           [&] {
+             IntervalSet want = IntervalSet::of(b.lo, b.hi);
+             want.subtract(it->second);
+             return want.empty();
+           }());
+      if (covered) {
+        ++heard;
+      } else {
+        unheard = q;
+      }
+    }
+    if (known_.count() == n()) {
+      enter_phase2();
+    } else if (heard >= k() - 1) {
+      if (heard == k()) {
+        enter_phase2();  // heard everyone: all bits known
+      } else {
+        missing_ = unheard;
+        IntervalSet needed = IntervalSet::of(layout.bounds(unheard).lo,
+                                             layout.bounds(unheard).hi);
+        needed.subtract(known_);
+        progress_ = Progress::kPhase1Wait2;
+        broadcast(std::make_shared<Stage2Req>(1, unheard, needed));
+        answer_pending_requests();
+        try_advance();
+      }
+    }
+    return;
+  }
+
+  if (progress_ == Progress::kPhase1Wait2) {
+    // Stage 3 of phase 1: wait for k-1 responses (counting my own implicit
+    // "me neither"), or any response carrying the missing bits, or full
+    // knowledge through late/full messages.
+    if (known_.count() == n() || got_missing_bits_ ||
+        responses_ >= k() - 1) {
+      enter_phase2();
+    }
+    return;
+  }
+
+  if (progress_ == Progress::kPhase2) {
+    maybe_finish();
+  }
+}
+
+void CrashOnePeer::answer_pending_requests() {
+  auto pending = std::move(pending_requests_);
+  pending_requests_.clear();
+  for (auto& [from, req] : pending) answer_request(from, req);
+}
+
+void CrashOnePeer::answer_request(sim::PeerId from, const Stage2Req& req) {
+  IntervalSet lacking = req.needed;
+  lacking.subtract(known_);
+  if (lacking.empty()) {
+    send(from, std::make_shared<Stage2Resp>(
+                   req.phase, req.missing, true,
+                   BitChunk::extract(out_, req.needed)));
+  } else {
+    send(from,
+         std::make_shared<Stage2Resp>(req.phase, req.missing, false, BitChunk{}));
+  }
+}
+
+void CrashOnePeer::enter_phase2() {
+  ASYNCDR_INVARIANT(progress_ == Progress::kPhase1Wait1 ||
+                    progress_ == Progress::kPhase1Wait2);
+  progress_ = Progress::kPhase2;
+  answer_pending_requests();
+
+  if (known_.count() == n()) {
+    // Completion mode: push everything (the full-array fallback that keeps
+    // peers stuck on a terminated peer alive).
+    broadcast(std::make_shared<Stage1>(
+        2, BitChunk::extract(out_, IntervalSet::full(n()))));
+  } else {
+    // Lacking mode: all lacking peers share the same missing peer m
+    // (Lemma 2.1); query and push my reassigned share of m's block.
+    ASYNCDR_INVARIANT_MSG(missing_.has_value(),
+                          "lacking peer must know its missing peer");
+    const IntervalSet share = phase2_share(*missing_, id());
+    IntervalSet to_query = share;
+    to_query.subtract(known_);
+    if (!to_query.empty()) {
+      const std::vector<std::size_t> idx = to_query.to_indices();
+      const BitVec values = query_indices(idx);
+      for (std::size_t j = 0; j < idx.size(); ++j) out_.set(idx[j], values.get(j));
+      known_.unite(to_query);
+    }
+    broadcast(std::make_shared<Stage1>(2, BitChunk::extract(out_, share)));
+  }
+  phase2_broadcast_done_ = true;
+  maybe_finish();
+}
+
+void CrashOnePeer::maybe_finish() {
+  if (progress_ == Progress::kPhase2 && phase2_broadcast_done_ &&
+      known_.count() == n()) {
+    progress_ = Progress::kDone;
+    finish(out_);
+  }
+}
+
+IntervalSet CrashOnePeer::phase2_share(sim::PeerId missing,
+                                       sim::PeerId owner) const {
+  ASYNCDR_EXPECTS(owner != missing);
+  const Interval block = blocks().bounds(missing);
+  const auto parts =
+      IntervalSet::of(block.lo, block.hi).split_evenly(k() - 1);
+  // Owner's index among peers != missing, in increasing ID order — a rule
+  // every peer evaluates identically, so the reassignments agree.
+  const std::size_t slot = owner < missing ? owner : owner - 1;
+  return parts[slot];
+}
+
+}  // namespace asyncdr::proto

@@ -1,0 +1,66 @@
+#include "protocols/decision_tree.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace asyncdr::proto {
+
+DecisionTree::DecisionTree(std::vector<BitVec> candidates)
+    : candidates_(std::move(candidates)) {
+  ASYNCDR_EXPECTS_MSG(!candidates_.empty(),
+                      "decision tree needs at least one candidate");
+  for (std::size_t i = 1; i < candidates_.size(); ++i) {
+    ASYNCDR_EXPECTS_MSG(candidates_[i].size() == candidates_[0].size(),
+                        "candidates must have equal length");
+  }
+  std::vector<std::size_t> all(candidates_.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  root_ = build(std::move(all), 0);
+}
+
+std::size_t DecisionTree::build(std::vector<std::size_t> members,
+                                std::size_t depth) {
+  ASYNCDR_INVARIANT(!members.empty());
+  depth_ = std::max(depth_, depth);
+  if (members.size() == 1) {
+    nodes_.push_back(Node{-1, {0, 0}, members[0]});
+    return nodes_.size() - 1;
+  }
+  // Pick two members and their first separating index (they are distinct
+  // strings, so one exists).
+  const auto sep =
+      candidates_[members[0]].first_difference(candidates_[members[1]]);
+  ASYNCDR_INVARIANT_MSG(sep.has_value(), "candidates must be pairwise distinct");
+  const std::size_t i = *sep;
+
+  std::vector<std::size_t> zero, one;
+  for (std::size_t m : members) {
+    (candidates_[m].get(i) ? one : zero).push_back(m);
+  }
+  ASYNCDR_INVARIANT(!zero.empty() && !one.empty());
+
+  const std::size_t zero_node = build(std::move(zero), depth + 1);
+  const std::size_t one_node = build(std::move(one), depth + 1);
+  Node node;
+  node.sep_index = static_cast<std::ptrdiff_t>(i);
+  node.child[0] = zero_node;
+  node.child[1] = one_node;
+  nodes_.push_back(node);
+  ++internal_count_;
+  return nodes_.size() - 1;
+}
+
+const BitVec& DecisionTree::determine(
+    const std::function<bool(std::size_t)>& query_bit,
+    std::size_t index_offset) const {
+  std::size_t at = root_;
+  while (nodes_[at].sep_index >= 0) {
+    const auto local = static_cast<std::size_t>(nodes_[at].sep_index);
+    const bool bit = query_bit(index_offset + local);
+    at = nodes_[at].child[bit ? 1 : 0];
+  }
+  return candidates_[nodes_[at].candidate];
+}
+
+}  // namespace asyncdr::proto

@@ -1,0 +1,60 @@
+// Protocol 3 of the paper: the decision tree over a set of conflicting
+// candidate strings for one segment. Internal nodes hold separating bit
+// indices; querying the source at those indices walks the tree down to the
+// unique candidate consistent with the true input — the correct string, as
+// long as it is among the candidates.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/bitvec.hpp"
+
+namespace asyncdr::proto {
+
+/// Conflict-resolution tree over candidate bit strings of equal length.
+class DecisionTree {
+ public:
+  /// Candidates must be non-empty, pairwise distinct, and of equal length.
+  explicit DecisionTree(std::vector<BitVec> candidates);
+
+  std::size_t leaf_count() const { return candidates_.size(); }
+  /// Number of separating indices on the worst root-to-leaf path.
+  std::size_t depth() const { return depth_; }
+  /// Total internal nodes — the paper's bound on determine()'s query cost
+  /// (= leaf_count() - 1).
+  std::size_t internal_nodes() const { return internal_count_; }
+
+  /// Resolves the tree against the true input. `query_bit` receives an
+  /// absolute index (node separating index + `index_offset`) and must return
+  /// the true input bit there; it is called once per internal node on the
+  /// resolution path. Returns the surviving candidate.
+  ///
+  /// If the true string is among the candidates, the result *is* the true
+  /// string; otherwise the result is some candidate agreeing with the truth
+  /// on all queried separators (the caller must guard against that case, as
+  /// the protocols do via the tau-frequency threshold).
+  const BitVec& determine(
+      const std::function<bool(std::size_t)>& query_bit,
+      std::size_t index_offset = 0) const;
+
+ private:
+  struct Node {
+    // Internal node: sep_index >= 0, children index into nodes_.
+    // Leaf: sep_index == -1, candidate indexes into candidates_.
+    std::ptrdiff_t sep_index = -1;
+    std::size_t child[2] = {0, 0};
+    std::size_t candidate = 0;
+  };
+
+  std::size_t build(std::vector<std::size_t> members, std::size_t depth);
+
+  std::vector<BitVec> candidates_;
+  std::vector<Node> nodes_;
+  std::size_t root_ = 0;
+  std::size_t depth_ = 0;
+  std::size_t internal_count_ = 0;
+};
+
+}  // namespace asyncdr::proto

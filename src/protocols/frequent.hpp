@@ -1,0 +1,54 @@
+// Bookkeeping for the randomized protocols' received segment strings, and
+// the paper's F(S, tau) operator: the set of "tau-frequent" strings — values
+// reported identically by at least tau distinct peers for the same segment.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "sim/types.hpp"
+
+namespace asyncdr::proto {
+
+/// Per-segment multiset of received (peer, string) reports.
+///
+/// One vote per (peer, segment): a Byzantine peer re-sending different
+/// strings for the same segment cannot stack the count — only its first
+/// report is kept, mirroring the model where a peer sends one finding.
+class StringBank {
+ public:
+  explicit StringBank(std::size_t segment_count);
+
+  std::size_t segment_count() const { return per_segment_.size(); }
+
+  /// Records `from`'s report of `value` for segment `seg`. Returns true if
+  /// the vote was counted (first report by this peer for this segment).
+  bool record(std::size_t seg, sim::PeerId from, const BitVec& value);
+
+  /// Number of distinct peers that reported anything for `seg` — the
+  /// paper's R_i, which bounds the decision-tree cost for the segment.
+  std::size_t votes(std::size_t seg) const;
+
+  /// Number of distinct strings reported for `seg`.
+  std::size_t distinct(std::size_t seg) const;
+
+  /// Count of peers that reported exactly `value` for `seg`.
+  std::size_t support(std::size_t seg, const BitVec& value) const;
+
+  /// F(S, tau): all strings reported for `seg` by >= tau distinct peers.
+  /// Deterministic order (by string content) so runs are reproducible.
+  std::vector<BitVec> frequent(std::size_t seg, std::size_t tau) const;
+
+ private:
+  struct SegmentVotes {
+    std::unordered_map<BitVec, std::unordered_set<sim::PeerId>, BitVecHash>
+        by_string;
+    std::unordered_set<sim::PeerId> voters;
+  };
+  std::vector<SegmentVotes> per_segment_;
+};
+
+}  // namespace asyncdr::proto

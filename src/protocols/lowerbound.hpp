@@ -1,0 +1,64 @@
+// Executable lower-bound constructions for the Byzantine-majority regime
+// (beta >= 1/2), Section 3.1 of the paper.
+//
+// Theorem 3.1 (deterministic): probe a synchronous execution with the
+// honest group S silenced to find a bit i* the victim never queries, then
+// re-run on the flipped input X' with the corrupted majority B simulating
+// the X-world (they run the honest code against an overlay source). The two
+// executions are indistinguishable to the victim, which therefore outputs
+// the wrong value at i* — proving any deterministic protocol with Q < n
+// fails.
+//
+// Theorem 3.2 (randomized): the adversary cannot probe a randomized
+// victim's query set, so it plants i* at random; the attack then succeeds
+// whenever the victim's random choices did not cover i*. Measured success
+// rate is compared against the theorem's 1 - q/n floor.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "dr/config.hpp"
+#include "protocols/runner.hpp"
+
+namespace asyncdr::proto {
+
+/// Outcome of one Theorem 3.1 attack.
+struct DetAttackResult {
+  bool attackable = false;   ///< the probe found an unqueried bit
+  bool succeeded = false;    ///< victim output the X-value at the planted bit
+  sim::PeerId victim = 0;
+  std::size_t planted_bit = 0;
+  std::size_t victim_probe_queries = 0;  ///< q: bits the victim queried
+  bool victim_terminated = false;
+  std::string detail;
+};
+
+/// Runs the Theorem 3.1 two-world construction against a deterministic
+/// protocol. Requires beta >= 1/2 head-room: t >= (k-1)/2 so the corrupted
+/// coalition B (size t) plus the victim can satisfy any k-t quorum.
+DetAttackResult run_deterministic_majority_attack(const dr::Config& cfg,
+                                                  const PeerFactory& honest);
+
+/// Aggregate of the Theorem 3.2 randomized measurement.
+struct RandAttackStats {
+  std::size_t trials = 0;
+  std::size_t succeeded = 0;          ///< victim wrong at the planted bit
+  std::size_t victim_unterminated = 0;
+  double mean_victim_queries = 0;     ///< measured q
+  double success_rate() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(succeeded) /
+                             static_cast<double>(trials);
+  }
+  /// Theorem 3.2's floor: 1 - q/n with the measured mean q.
+  double predicted_floor(std::size_t n) const;
+};
+
+/// Runs `trials` independent random-bit attacks against a (randomized)
+/// protocol. Each trial uses a fresh seed derived from cfg.seed.
+RandAttackStats run_randomized_majority_attack(const dr::Config& cfg,
+                                               const PeerFactory& honest,
+                                               std::size_t trials);
+
+}  // namespace asyncdr::proto

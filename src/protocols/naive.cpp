@@ -1,0 +1,11 @@
+#include "protocols/naive.hpp"
+
+namespace asyncdr::proto {
+
+void NaivePeer::on_start() { finish(query_range(0, n())); }
+
+void NaivePeer::on_message(sim::PeerId, const sim::Payload&) {
+  // The naive protocol is non-interactive.
+}
+
+}  // namespace asyncdr::proto

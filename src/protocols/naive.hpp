@@ -1,0 +1,20 @@
+// The naive Download protocol: every peer queries the entire input directly.
+// Q = n, M = 0. This is the only deterministic option once beta >= 1/2
+// (Theorem 3.1), and the generic fallback of the randomized protocols'
+// parameter derivation (case 3 of Theorem 3.7).
+#pragma once
+
+#include "dr/peer.hpp"
+
+namespace asyncdr::proto {
+
+/// Queries all n bits and terminates; ignores all messages.
+class NaivePeer final : public dr::Peer {
+ public:
+  void on_start() override;
+
+ protected:
+  void on_message(sim::PeerId from, const sim::Payload& payload) override;
+};
+
+}  // namespace asyncdr::proto

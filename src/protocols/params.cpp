@@ -1,0 +1,59 @@
+#include "protocols/params.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace asyncdr::proto {
+
+RandParams RandParams::derive(const dr::Config& cfg, double concentration,
+                              double tau_margin) {
+  ASYNCDR_EXPECTS(concentration > 0);
+  ASYNCDR_EXPECTS(tau_margin >= 1.0);
+  RandParams p;
+  p.concentration = concentration;
+  p.tau_margin = tau_margin;
+  const std::size_t t = cfg.max_faulty();
+  if (2 * t >= cfg.k) {
+    // Case 3: majority Byzantine — Theorem 3.2 says no protocol can beat
+    // the naive one anyway.
+    p.naive_fallback = true;
+    return p;
+  }
+  p.eta = cfg.k - 2 * t;
+  const double log_term =
+      std::log(static_cast<double>(std::max({cfg.n, cfg.k, std::size_t{3}})));
+  const auto s = static_cast<std::size_t>(
+      std::floor(static_cast<double>(p.eta) / (concentration * log_term)));
+  if (s < 2) {
+    // Case 2 degenerates at this scale: a single segment means everyone
+    // queries everything, i.e. the naive protocol.
+    p.naive_fallback = true;
+    return p;
+  }
+  p.segments = std::min(s, cfg.n);
+  p.tau = p.tau_for(p.segments);
+  return p;
+}
+
+std::size_t RandParams::tau_for(std::size_t segment_count) const {
+  ASYNCDR_EXPECTS(segment_count >= 1);
+  // Expected picks per segment among eta honest peers is eta/s; the w.h.p.
+  // floor is that divided by tau_margin (Claim 5 uses margin 2).
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             static_cast<double>(eta) /
+             (tau_margin * static_cast<double>(segment_count))));
+}
+
+std::string RandParams::to_string() const {
+  std::ostringstream os;
+  if (naive_fallback) return "RandParams{naive fallback}";
+  os << "RandParams{s=" << segments << ", tau=" << tau << ", eta=" << eta
+     << ", C=" << concentration << "}";
+  return os.str();
+}
+
+}  // namespace asyncdr::proto

@@ -1,0 +1,183 @@
+#include "protocols/runner.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace asyncdr::proto {
+
+BitVec random_input(std::size_t n, std::uint64_t seed) {
+  Rng rng = Rng(seed).split(0xda7aull);
+  return BitVec::generate(n, [&] { return rng.flip(); });
+}
+
+std::vector<sim::PeerId> pick_faulty(const dr::Config& cfg, std::size_t count,
+                                     std::uint64_t salt) {
+  ASYNCDR_EXPECTS(count <= cfg.max_faulty());
+  Rng rng = Rng(cfg.seed).split(0xfa017ull + salt);
+  return rng.sample_without_replacement(cfg.k, count);
+}
+
+dr::RunReport run_scenario(const Scenario& scenario) {
+  ASYNCDR_EXPECTS_MSG(scenario.honest != nullptr,
+                      "scenario needs an honest-peer factory");
+  const dr::Config& cfg = scenario.cfg;
+  BitVec input = scenario.input.value_or(random_input(cfg.n, cfg.seed));
+  dr::World world(cfg, std::move(input));
+
+  if (scenario.latency) {
+    world.network().set_latency_policy(scenario.latency(cfg));
+  } else {
+    world.network().set_latency_policy(std::make_unique<adv::UniformLatency>(
+        world.adversary_rng(0x1a7ull), 0.05, 1.0));
+  }
+
+  const std::unordered_set<sim::PeerId> byz(scenario.byz_ids.begin(),
+                                            scenario.byz_ids.end());
+  ASYNCDR_EXPECTS_MSG(byz.empty() || scenario.byzantine != nullptr,
+                      "byz_ids set but no byzantine factory");
+  for (sim::PeerId id = 0; id < cfg.k; ++id) {
+    if (byz.contains(id)) {
+      world.set_peer(id, scenario.byzantine(cfg, id));
+      world.mark_faulty(id);
+    } else {
+      world.set_peer(id, scenario.honest(cfg, id));
+    }
+  }
+  scenario.crashes.apply(world);
+  for (const auto& [id, t] : scenario.start_times) world.set_start_time(id, t);
+
+  return world.run(scenario.max_events);
+}
+
+PeerFactory make_naive() {
+  return [](const dr::Config&, sim::PeerId) {
+    return std::make_unique<NaivePeer>();
+  };
+}
+
+PeerFactory make_crash_one() {
+  return [](const dr::Config&, sim::PeerId) {
+    return std::make_unique<CrashOnePeer>();
+  };
+}
+
+PeerFactory make_crash_multi(CrashMultiPeer::Options opts) {
+  return [opts](const dr::Config&, sim::PeerId) {
+    return std::make_unique<CrashMultiPeer>(opts);
+  };
+}
+
+PeerFactory make_committee() {
+  return [](const dr::Config&, sim::PeerId) {
+    return std::make_unique<CommitteePeer>();
+  };
+}
+
+PeerFactory make_two_cycle(double concentration, double tau_margin) {
+  return [concentration, tau_margin](const dr::Config& cfg, sim::PeerId) {
+    return std::make_unique<TwoCyclePeer>(
+        RandParams::derive(cfg, concentration, tau_margin));
+  };
+}
+
+PeerFactory make_multi_cycle(double concentration, double tau_margin) {
+  return [concentration, tau_margin](const dr::Config& cfg, sim::PeerId) {
+    return std::make_unique<MultiCyclePeer>(
+        RandParams::derive(cfg, concentration, tau_margin));
+  };
+}
+
+PeerFactory make_two_cycle_with(RandParams params) {
+  return [params](const dr::Config&, sim::PeerId) {
+    return std::make_unique<TwoCyclePeer>(params);
+  };
+}
+
+PeerFactory make_multi_cycle_with(RandParams params) {
+  return [params](const dr::Config&, sim::PeerId) {
+    return std::make_unique<MultiCyclePeer>(params);
+  };
+}
+
+PeerFactory make_silent_byz() {
+  return [](const dr::Config&, sim::PeerId) {
+    return std::make_unique<SilentByzPeer>();
+  };
+}
+
+PeerFactory make_garbage_byz() {
+  return [](const dr::Config&, sim::PeerId) {
+    return std::make_unique<GarbageByzPeer>();
+  };
+}
+
+PeerFactory make_committee_liar(CommitteeLiarPeer::Mode mode) {
+  return [mode](const dr::Config&, sim::PeerId) {
+    return std::make_unique<CommitteeLiarPeer>(mode);
+  };
+}
+
+PeerFactory make_vote_stuffer(double concentration,
+                              std::size_t target_segment) {
+  return [concentration, target_segment](const dr::Config& cfg, sim::PeerId) {
+    return std::make_unique<VoteStuffPeer>(
+        RandParams::derive(cfg, concentration), target_segment);
+  };
+}
+
+PeerFactory make_equivocator(double concentration) {
+  return [concentration](const dr::Config& cfg, sim::PeerId) {
+    return std::make_unique<EquivocatorPeer>(
+        RandParams::derive(cfg, concentration));
+  };
+}
+
+PeerFactory make_comb_stuffer(double concentration,
+                              std::size_t target_segment) {
+  return [concentration, target_segment](const dr::Config& cfg, sim::PeerId) {
+    return std::make_unique<CombStuffPeer>(
+        RandParams::derive(cfg, concentration), target_segment);
+  };
+}
+
+PeerFactory make_quorum_rusher(double concentration) {
+  return [concentration](const dr::Config& cfg, sim::PeerId) {
+    return std::make_unique<QuorumRusherPeer>(
+        RandParams::derive(cfg, concentration));
+  };
+}
+
+LatencyFactory uniform_latency(sim::Time lo, sim::Time hi) {
+  return [lo, hi](const dr::Config& cfg) {
+    return std::make_unique<adv::UniformLatency>(
+        Rng(cfg.seed).split(0x1a7ull), lo, hi);
+  };
+}
+
+LatencyFactory fixed_latency(sim::Time delay) {
+  return [delay](const dr::Config&) {
+    return std::make_unique<sim::FixedLatency>(delay);
+  };
+}
+
+LatencyFactory seniority_latency() {
+  return [](const dr::Config& cfg) {
+    return std::make_unique<adv::SeniorityLatency>(cfg.k);
+  };
+}
+
+LatencyFactory sender_delay_latency(std::vector<sim::PeerId> slow_senders,
+                                    sim::Time slow, sim::Time fast) {
+  return [slow_senders = std::move(slow_senders), slow,
+          fast](const dr::Config&) {
+    return std::make_unique<adv::SenderDelayLatency>(
+        std::unordered_set<sim::PeerId>(slow_senders.begin(),
+                                        slow_senders.end()),
+        slow, fast);
+  };
+}
+
+}  // namespace asyncdr::proto

@@ -1,0 +1,38 @@
+#include "sim/engine.hpp"
+
+#include "common/check.hpp"
+
+namespace asyncdr::sim {
+
+void Engine::schedule_in(Time delay, Action action) {
+  ASYNCDR_EXPECTS(delay >= 0);
+  schedule_at(now_ + delay, std::move(action));
+}
+
+void Engine::schedule_at(Time t, Action action) {
+  ASYNCDR_EXPECTS(t >= now_);
+  ASYNCDR_EXPECTS(action != nullptr);
+  queue_.push(Event{t, next_seq_++, std::move(action)});
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the action must be moved out before pop.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.t;
+  ev.action();
+  return true;
+}
+
+Engine::RunResult Engine::run(std::size_t max_events) {
+  RunResult result;
+  while (result.events_processed < max_events) {
+    if (!step()) return result;
+    ++result.events_processed;
+  }
+  result.budget_exhausted = !queue_.empty();
+  return result;
+}
+
+}  // namespace asyncdr::sim

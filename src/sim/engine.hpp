@@ -1,0 +1,66 @@
+// Deterministic discrete-event engine. Events fire in (time, insertion
+// sequence) order, so two runs with identical inputs produce identical
+// executions — the property every test and lower-bound construction relies
+// on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace asyncdr::sim {
+
+/// Event-driven virtual-time executor.
+class Engine {
+ public:
+  using Action = std::function<void()>;
+
+  /// Result of a run() call.
+  struct RunResult {
+    std::size_t events_processed = 0;
+    /// True if run() stopped because the event budget was hit while events
+    /// remained — the runaway-execution guard, treated as failure upstream.
+    bool budget_exhausted = false;
+  };
+
+  Time now() const { return now_; }
+
+  /// Schedules `action` to run `delay` time units from now. delay >= 0.
+  void schedule_in(Time delay, Action action);
+
+  /// Schedules `action` at absolute time `t`. t >= now().
+  void schedule_at(Time t, Action action);
+
+  /// Runs one event; returns false if the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains or `max_events` have been processed.
+  RunResult run(std::size_t max_events = kDefaultEventBudget);
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+  static constexpr std::size_t kDefaultEventBudget = 50'000'000;
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace asyncdr::sim

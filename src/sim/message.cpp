@@ -1,0 +1,9 @@
+#include "sim/message.hpp"
+
+namespace asyncdr::sim {
+
+// Out-of-line key function: anchors Payload's vtable in this translation
+// unit.
+Payload::~Payload() = default;
+
+}  // namespace asyncdr::sim

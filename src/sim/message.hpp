@@ -1,0 +1,51 @@
+// Messages and payloads. Every protocol defines its own payload structs
+// deriving from Payload; size_bits() drives both message-complexity
+// accounting (a payload of s bits counts as ceil(s / B) unit messages) and
+// link transmission time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace asyncdr::sim {
+
+/// Base class of all peer-to-peer message contents.
+///
+/// Payloads are immutable once sent and shared between all recipients of a
+/// broadcast, so they are handled through shared_ptr<const Payload>.
+class Payload {
+ public:
+  virtual ~Payload();
+
+  /// Size of the payload in bits, as the paper accounts it (the data bits;
+  /// headers such as phase/stage numbers contribute O(log) bits and are
+  /// included by each payload type explicitly).
+  virtual std::size_t size_bits() const = 0;
+
+  /// Human-readable payload kind for traces and error messages.
+  virtual std::string type_name() const = 0;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+/// A payload in flight between two peers.
+struct Message {
+  PeerId from = kNoPeer;
+  PeerId to = kNoPeer;
+  PayloadPtr payload;
+  Time sent_at = 0;
+  std::uint64_t id = 0;  // unique per network, in send order
+};
+
+/// Downcasts a delivered payload to the protocol's concrete type; returns
+/// nullptr if the payload is of another type (e.g. garbage injected by a
+/// Byzantine peer using a different payload class).
+template <typename T>
+const T* payload_as(const Payload& p) {
+  return dynamic_cast<const T*>(&p);
+}
+
+}  // namespace asyncdr::sim

@@ -1,0 +1,135 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace asyncdr::sim {
+
+LatencyPolicy::~LatencyPolicy() = default;
+Receiver::~Receiver() = default;
+NetworkObserver::~NetworkObserver() = default;
+void NetworkObserver::on_send(const Message&, std::size_t) {}
+void NetworkObserver::on_deliver(const Message&) {}
+void NetworkObserver::on_drop(const Message&) {}
+
+FixedLatency::FixedLatency(Time delay) : delay_(delay) {
+  ASYNCDR_EXPECTS(delay > 0 && delay <= 1.0);
+}
+
+Time FixedLatency::propagation(const Message&) { return delay_; }
+
+Network::Network(Engine& engine, std::size_t k, std::size_t message_size_bits)
+    : engine_(engine),
+      k_(k),
+      message_size_bits_(message_size_bits),
+      receivers_(k, nullptr),
+      crashed_(k, false),
+      links_(k * k),
+      sent_units_(k, 0),
+      sent_payloads_(k, 0),
+      latency_(std::make_unique<FixedLatency>(1.0)) {
+  ASYNCDR_EXPECTS(k >= 2);
+  ASYNCDR_EXPECTS(message_size_bits >= 1);
+}
+
+void Network::attach(PeerId id, Receiver* receiver) {
+  ASYNCDR_EXPECTS(id < k_);
+  ASYNCDR_EXPECTS(receiver != nullptr);
+  receivers_[id] = receiver;
+}
+
+void Network::set_latency_policy(std::unique_ptr<LatencyPolicy> policy) {
+  ASYNCDR_EXPECTS(policy != nullptr);
+  latency_ = std::move(policy);
+}
+
+void Network::set_observer(NetworkObserver* observer) { observer_ = observer; }
+
+void Network::set_pre_send_hook(PreSendHook hook) {
+  pre_send_hook_ = std::move(hook);
+}
+
+std::size_t Network::unit_messages(const Payload& payload) const {
+  const std::size_t bits = payload.size_bits();
+  return std::max<std::size_t>(1, (bits + message_size_bits_ - 1) / message_size_bits_);
+}
+
+void Network::send(PeerId from, PeerId to, PayloadPtr payload) {
+  ASYNCDR_EXPECTS(from < k_ && to < k_);
+  ASYNCDR_EXPECTS(payload != nullptr);
+  if (crashed_[from]) return;
+
+  Message msg{from, to, std::move(payload), engine_.now(), next_message_id_++};
+  if (pre_send_hook_) {
+    pre_send_hook_(msg);
+    // The hook may have crashed the sender; the send is then lost, which is
+    // exactly the "crashed mid-operation" semantics of the paper's model.
+    if (crashed_[from]) {
+      if (observer_) observer_->on_drop(msg);
+      return;
+    }
+  }
+
+  const std::size_t units = unit_messages(*msg.payload);
+  sent_units_[from] += units;
+  sent_payloads_[from] += 1;
+  if (observer_) observer_->on_send(msg, units);
+
+  // Link serialization: one unit message per directed link per time unit.
+  LinkState& l = link(from, to);
+  const Time departure = std::max(engine_.now(), l.next_free);
+  l.next_free = departure + static_cast<Time>(units);
+  const Time transmission = static_cast<Time>(units - 1);
+  const Time arrival = departure + transmission + latency_->propagation(msg);
+
+  engine_.schedule_at(arrival, [this, msg = std::move(msg)]() {
+    if (crashed_[msg.to] || receivers_[msg.to] == nullptr) {
+      if (observer_) observer_->on_drop(msg);
+      return;
+    }
+    ++total_deliveries_;
+    if (observer_) observer_->on_deliver(msg);
+    receivers_[msg.to]->deliver(msg);
+  });
+}
+
+void Network::broadcast(PeerId from, PayloadPtr payload) {
+  ASYNCDR_EXPECTS(from < k_);
+  for (PeerId to = 0; to < k_; ++to) {
+    if (to == from) continue;
+    if (crashed_[from]) return;  // died mid-broadcast
+    send(from, to, payload);
+  }
+}
+
+void Network::crash(PeerId id) {
+  ASYNCDR_EXPECTS(id < k_);
+  crashed_[id] = true;
+}
+
+bool Network::is_crashed(PeerId id) const {
+  ASYNCDR_EXPECTS(id < k_);
+  return crashed_[id];
+}
+
+std::size_t Network::crashed_count() const {
+  return static_cast<std::size_t>(
+      std::count(crashed_.begin(), crashed_.end(), true));
+}
+
+std::uint64_t Network::sent_units(PeerId id) const {
+  ASYNCDR_EXPECTS(id < k_);
+  return sent_units_[id];
+}
+
+std::uint64_t Network::sent_payloads(PeerId id) const {
+  ASYNCDR_EXPECTS(id < k_);
+  return sent_payloads_[id];
+}
+
+Network::LinkState& Network::link(PeerId from, PeerId to) {
+  return links_[from * k_ + to];
+}
+
+}  // namespace asyncdr::sim

@@ -1,0 +1,131 @@
+// Complete asynchronous peer-to-peer network. The adversary owns message
+// propagation delays through LatencyPolicy, and can crash peers at any time
+// — including between the individual sends of a broadcast, modelling the
+// paper's "crashed after sending some but not all messages" case.
+//
+// Bandwidth model: a message of up to B bits (the paper's message-size
+// parameter) is one unit message. A payload of s bits consumes
+// ceil(s / B) units; a directed link carries one unit per time unit, so
+// units serialize per link. This is what gives transfers of n bits their
+// n/B contribution to time complexity, matching the paper's accounting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/message.hpp"
+#include "sim/types.hpp"
+
+namespace asyncdr::sim {
+
+/// The scheduling adversary: assigns each message a propagation delay.
+/// For complexity-faithful runs the returned value must lie in (0, 1] (the
+/// asynchronous time normalization); lower-bound attack policies may exceed
+/// 1, in which case the run's reported time complexity is not meaningful.
+class LatencyPolicy {
+ public:
+  virtual ~LatencyPolicy();
+  virtual Time propagation(const Message& msg) = 0;
+};
+
+/// Always the maximum delay 1 — the default worst-ish-case schedule.
+class FixedLatency final : public LatencyPolicy {
+ public:
+  explicit FixedLatency(Time delay = 1.0);
+  Time propagation(const Message& msg) override;
+
+ private:
+  Time delay_;
+};
+
+/// Anything that can receive delivered messages (peers, monitors).
+class Receiver {
+ public:
+  virtual ~Receiver();
+  virtual void deliver(const Message& msg) = 0;
+};
+
+/// Observation hooks for metrics/tracing. All methods optional.
+class NetworkObserver {
+ public:
+  virtual ~NetworkObserver();
+  virtual void on_send(const Message& msg, std::size_t unit_messages);
+  virtual void on_deliver(const Message& msg);
+  virtual void on_drop(const Message& msg);
+};
+
+/// The clique network over k peers.
+class Network {
+ public:
+  /// message_size_bits is the paper's B; payloads larger than B are
+  /// accounted as multiple unit messages.
+  Network(Engine& engine, std::size_t k, std::size_t message_size_bits);
+
+  std::size_t size() const { return k_; }
+  std::size_t message_size_bits() const { return message_size_bits_; }
+  Engine& engine() { return engine_; }
+
+  /// Registers the receiver for a peer ID. Must be called for every peer
+  /// before any traffic flows to it.
+  void attach(PeerId id, Receiver* receiver);
+
+  /// Installs the scheduling adversary. Defaults to FixedLatency(1).
+  void set_latency_policy(std::unique_ptr<LatencyPolicy> policy);
+
+  /// Metrics/tracing observer (not owned). May be null.
+  void set_observer(NetworkObserver* observer);
+
+  /// Adversary hook invoked before each send is processed; it may call
+  /// crash(from) to model a peer dying mid-broadcast.
+  using PreSendHook = std::function<void(const Message& about_to_send)>;
+  void set_pre_send_hook(PreSendHook hook);
+
+  /// Sends payload from -> to. Dropped if the sender is crashed (after the
+  /// pre-send hook has run). Delivery is dropped if the receiver has
+  /// crashed by arrival time.
+  void send(PeerId from, PeerId to, PayloadPtr payload);
+
+  /// Sends payload from every peer except `from` itself, in increasing
+  /// recipient-ID order (deterministic, so a mid-broadcast crash cuts a
+  /// well-defined prefix).
+  void broadcast(PeerId from, PayloadPtr payload);
+
+  /// Marks a peer crashed: it sends and receives nothing from now on.
+  void crash(PeerId id);
+  bool is_crashed(PeerId id) const;
+  std::size_t crashed_count() const;
+
+  /// ceil(size_bits / B), at least 1 — unit messages consumed by a payload.
+  std::size_t unit_messages(const Payload& payload) const;
+
+  /// Unit messages sent by `id` so far (crashed-at-send messages excluded).
+  std::uint64_t sent_units(PeerId id) const;
+  /// Raw payload-level sends by `id` (each send() call that went through).
+  std::uint64_t sent_payloads(PeerId id) const;
+  std::uint64_t total_deliveries() const { return total_deliveries_; }
+
+ private:
+  struct LinkState {
+    Time next_free = 0;
+  };
+  LinkState& link(PeerId from, PeerId to);
+
+  Engine& engine_;
+  std::size_t k_;
+  std::size_t message_size_bits_;
+  std::vector<Receiver*> receivers_;
+  std::vector<bool> crashed_;
+  std::vector<LinkState> links_;  // k*k directed links
+  std::vector<std::uint64_t> sent_units_;
+  std::vector<std::uint64_t> sent_payloads_;
+  std::uint64_t total_deliveries_ = 0;
+  std::uint64_t next_message_id_ = 0;
+  std::unique_ptr<LatencyPolicy> latency_;
+  NetworkObserver* observer_ = nullptr;
+  PreSendHook pre_send_hook_;
+};
+
+}  // namespace asyncdr::sim

@@ -1,0 +1,117 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace asyncdr::sim {
+
+namespace {
+
+const char* kind_name(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kSend: return "send";
+    case TraceEvent::Kind::kDeliver: return "deliver";
+    case TraceEvent::Kind::kDrop: return "drop";
+    case TraceEvent::Kind::kCrash: return "crash";
+    case TraceEvent::Kind::kQuery: return "query";
+    case TraceEvent::Kind::kTerminate: return "terminate";
+    case TraceEvent::Kind::kNote: return "note";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string TraceEvent::to_string() const {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed << '[' << at << "] " << kind_name(kind);
+  if (from != kNoPeer) os << " p" << from;
+  if (to != kNoPeer) os << " -> p" << to;
+  if (!payload_type.empty()) os << ' ' << payload_type;
+  if (detail_a != 0) os << " (" << detail_a << ')';
+  if (!note.empty()) os << " \"" << note << '"';
+  return os.str();
+}
+
+Trace::Trace(const Engine& engine, std::size_t capacity)
+    : engine_(engine), capacity_(capacity) {
+  ASYNCDR_EXPECTS(capacity >= 1);
+  events_.reserve(std::min<std::size_t>(capacity, 4096));
+}
+
+void Trace::on_send(const Message& msg, std::size_t unit_messages) {
+  push(TraceEvent{TraceEvent::Kind::kSend, msg.sent_at, msg.from, msg.to,
+                  msg.payload->type_name(), unit_messages, {}});
+}
+
+void Trace::on_deliver(const Message& msg) {
+  push(TraceEvent{TraceEvent::Kind::kDeliver, engine_.now(), msg.from, msg.to,
+                  msg.payload->type_name(), msg.payload->size_bits(), {}});
+}
+
+void Trace::on_drop(const Message& msg) {
+  push(TraceEvent{TraceEvent::Kind::kDrop, engine_.now(), msg.from, msg.to,
+                  msg.payload->type_name(), 0, {}});
+}
+
+void Trace::record_crash(Time at, PeerId peer) {
+  push(TraceEvent{TraceEvent::Kind::kCrash, at, peer, kNoPeer, {}, 0, {}});
+}
+
+void Trace::record_query(Time at, PeerId peer, std::uint64_t bits) {
+  // Coalesce adjacent queries by the same peer at the same instant: the
+  // protocols issue per-stage batches that would otherwise flood the log.
+  if (!events_.empty()) {
+    TraceEvent& last = events_.back();
+    if (last.kind == TraceEvent::Kind::kQuery && last.from == peer &&
+        last.at == at) {
+      last.detail_a += bits;
+      return;
+    }
+  }
+  push(TraceEvent{TraceEvent::Kind::kQuery, at, peer, kNoPeer, {}, bits, {}});
+}
+
+void Trace::record_terminate(Time at, PeerId peer) {
+  push(TraceEvent{TraceEvent::Kind::kTerminate, at, peer, kNoPeer, {}, 0, {}});
+}
+
+void Trace::record_note(Time at, PeerId peer, std::string note) {
+  push(TraceEvent{TraceEvent::Kind::kNote, at, peer, kNoPeer, {}, 0,
+                  std::move(note)});
+}
+
+std::size_t Trace::count(TraceEvent::Kind kind) const {
+  std::size_t total = 0;
+  for (const TraceEvent& ev : events_) total += (ev.kind == kind);
+  return total;
+}
+
+std::string Trace::render(PeerId only_peer, std::size_t max_lines) const {
+  std::ostringstream os;
+  std::size_t lines = 0;
+  for (const TraceEvent& ev : events_) {
+    if (only_peer != kNoPeer && ev.from != only_peer && ev.to != only_peer) {
+      continue;
+    }
+    if (lines++ >= max_lines) {
+      os << "... (" << size() - lines + 1 << " more events)\n";
+      break;
+    }
+    os << ev.to_string() << '\n';
+  }
+  if (overflow_ > 0) os << "... (" << overflow_ << " events not recorded)\n";
+  return os.str();
+}
+
+void Trace::push(TraceEvent ev) {
+  if (events_.size() >= capacity_) {
+    ++overflow_;
+    return;
+  }
+  events_.push_back(std::move(ev));
+}
+
+}  // namespace asyncdr::sim

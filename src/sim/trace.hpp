@@ -1,0 +1,91 @@
+// Execution tracing: an optional observer that records sends, deliveries,
+// drops, crashes, queries, and terminations with virtual timestamps. Used
+// by tests to assert fine-grained ordering properties, by the trace_viewer
+// example for debugging protocol runs, and by anyone adopting the library
+// who needs to see *why* a run did what it did.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/message.hpp"
+#include "sim/network.hpp"
+#include "sim/types.hpp"
+
+namespace asyncdr::sim {
+
+/// One recorded event.
+struct TraceEvent {
+  enum class Kind {
+    kSend,
+    kDeliver,
+    kDrop,
+    kCrash,
+    kQuery,      ///< peer queried the source (bits in `detail_a`)
+    kTerminate,  ///< peer finished
+    kNote,       ///< free-form protocol annotation
+  };
+
+  Kind kind = Kind::kNote;
+  Time at = 0;
+  PeerId from = kNoPeer;
+  PeerId to = kNoPeer;
+  std::string payload_type;
+  std::uint64_t detail_a = 0;  ///< payload bits / queried bits / unit msgs
+  std::string note;
+
+  std::string to_string() const;
+};
+
+/// Bounded in-memory event log; recording stops past the cap (the overflow
+/// count tells how much was missed).
+class Trace final : public NetworkObserver {
+ public:
+  /// `engine` supplies delivery timestamps; not owned, must outlive.
+  explicit Trace(const Engine& engine, std::size_t capacity = 1 << 20);
+
+  // NetworkObserver hooks.
+  void on_send(const Message& msg, std::size_t unit_messages) override;
+  void on_deliver(const Message& msg) override;
+  void on_drop(const Message& msg) override;
+
+  /// Manual hooks (wired by dr::World when tracing is enabled).
+  void record_crash(Time at, PeerId peer);
+  void record_query(Time at, PeerId peer, std::uint64_t bits);
+  void record_terminate(Time at, PeerId peer);
+  void record_note(Time at, PeerId peer, std::string note);
+
+  std::size_t size() const { return events_.size(); }
+  std::size_t dropped_events() const { return overflow_; }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Events satisfying a predicate (copied; traces are diagnostics).
+  template <typename Pred>
+  std::vector<TraceEvent> filter(Pred&& pred) const {
+    std::vector<TraceEvent> out;
+    for (const TraceEvent& ev : events_) {
+      if (pred(ev)) out.push_back(ev);
+    }
+    return out;
+  }
+
+  /// Number of events of one kind.
+  std::size_t count(TraceEvent::Kind kind) const;
+
+  /// Renders the (optionally peer-filtered) timeline, one event per line.
+  std::string render(PeerId only_peer = kNoPeer,
+                     std::size_t max_lines = 200) const;
+
+ private:
+  void push(TraceEvent ev);
+
+  const Engine& engine_;
+  std::size_t capacity_;
+  std::size_t overflow_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace asyncdr::sim

@@ -1,0 +1,20 @@
+// Core identifiers shared across the simulation substrate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace asyncdr::sim {
+
+/// Peers carry IDs 0..k-1 (the paper's unique IDs from [k]).
+using PeerId = std::size_t;
+
+/// Virtual time. The asynchronous time-complexity convention normalizes the
+/// maximum message latency to 1 time unit; latency policies must therefore
+/// return propagation delays in (0, 1].
+using Time = double;
+
+/// Sentinel for "no peer".
+inline constexpr PeerId kNoPeer = static_cast<PeerId>(-1);
+
+}  // namespace asyncdr::sim

@@ -1,0 +1,96 @@
+#include "adversary/crash_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+
+namespace asyncdr::adv {
+namespace {
+
+dr::Config cfg() {
+  return dr::Config{.n = 64, .k = 10, .beta = 0.5, .message_bits = 32,
+                    .seed = 1};
+}
+
+TEST(CrashPlan, ManualConstruction) {
+  CrashPlan plan;
+  plan.add_at_time(3, 1.5);
+  plan.add_after_sends(7, 4);
+  EXPECT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.specs()[0].peer, 3u);
+  EXPECT_EQ(plan.specs()[0].kind, CrashSpec::Kind::kAtTime);
+  EXPECT_EQ(plan.specs()[1].sends, 4u);
+  EXPECT_NE(plan.to_string().find("p3@t=1.5"), std::string::npos);
+  EXPECT_NE(plan.to_string().find("p7@sends=4"), std::string::npos);
+}
+
+TEST(CrashPlan, RandomPicksDistinctVictimsWithinBudget) {
+  Rng rng(9);
+  const CrashPlan plan = CrashPlan::random(cfg(), rng, 5, 10.0);
+  EXPECT_EQ(plan.size(), 5u);
+  std::set<sim::PeerId> victims;
+  for (const auto& spec : plan.specs()) {
+    victims.insert(spec.peer);
+    if (spec.kind == CrashSpec::Kind::kAtTime) {
+      EXPECT_GE(spec.at, 0.0);
+      EXPECT_LE(spec.at, 10.0);
+    }
+  }
+  EXPECT_EQ(victims.size(), 5u);
+  EXPECT_THROW(CrashPlan::random(cfg(), rng, 6, 10.0), contract_violation);
+}
+
+TEST(CrashPlan, SilentPrefixTargetsLowIdsAtZero) {
+  const CrashPlan plan = CrashPlan::silent_prefix(3);
+  ASSERT_EQ(plan.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(plan.specs()[i].peer, i);
+    EXPECT_DOUBLE_EQ(plan.specs()[i].at, 0.0);
+  }
+}
+
+TEST(CrashPlan, StaggeredSpacing) {
+  Rng rng(3);
+  const CrashPlan plan = CrashPlan::staggered(cfg(), rng, 4, 2.0);
+  ASSERT_EQ(plan.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(plan.specs()[i].at, 2.0 * static_cast<double>(i + 1));
+  }
+}
+
+TEST(CrashPlan, PartialBroadcastUsesSendCounts) {
+  Rng rng(4);
+  const CrashPlan plan = CrashPlan::partial_broadcast(cfg(), rng, 2, 6);
+  ASSERT_EQ(plan.size(), 2u);
+  for (const auto& spec : plan.specs()) {
+    EXPECT_EQ(spec.kind, CrashSpec::Kind::kAfterSends);
+    EXPECT_EQ(spec.sends, 6u);
+  }
+}
+
+TEST(CrashPlan, ApplyMarksFaultyAndEnforcesBudget) {
+  dr::World world(cfg(), BitVec(64));
+  CrashPlan plan;
+  plan.add_at_time(0, 1.0);
+  plan.add_after_sends(1, 2);
+  plan.apply(world);
+  EXPECT_TRUE(world.is_faulty(0));
+  EXPECT_TRUE(world.is_faulty(1));
+  EXPECT_EQ(world.faulty_count(), 2u);
+
+  CrashPlan over;
+  for (sim::PeerId id = 2; id < 8; ++id) over.add_at_time(id, 0.0);
+  EXPECT_THROW(over.apply(world), contract_violation);  // budget t = 5
+}
+
+TEST(CrashPlan, DeterministicForSeed) {
+  Rng a(42), b(42);
+  const CrashPlan plan_a = CrashPlan::random(cfg(), a, 4, 5.0);
+  const CrashPlan plan_b = CrashPlan::random(cfg(), b, 4, 5.0);
+  EXPECT_EQ(plan_a.to_string(), plan_b.to_string());
+}
+
+}  // namespace
+}  // namespace asyncdr::adv

@@ -1,0 +1,81 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace asyncdr {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  s.add_all({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.min(), 1);
+  EXPECT_DOUBLE_EQ(s.max(), 5);
+  EXPECT_DOUBLE_EQ(s.sum(), 15);
+  EXPECT_DOUBLE_EQ(s.mean(), 3);
+  EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+}
+
+TEST(Summary, EmptyThrows) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.mean(), contract_violation);
+  EXPECT_THROW(s.min(), contract_violation);
+  EXPECT_THROW(s.percentile(50), contract_violation);
+  EXPECT_EQ(s.to_string(), "(no samples)");
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(7);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 7);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 7);
+}
+
+TEST(Summary, PercentilesInterpolate) {
+  Summary s;
+  s.add_all({10, 20, 30, 40});
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40);
+  EXPECT_DOUBLE_EQ(s.median(), 25);
+  EXPECT_THROW(s.percentile(101), contract_violation);
+}
+
+TEST(Summary, PercentileAfterMoreAdds) {
+  Summary s;
+  s.add(3);
+  EXPECT_DOUBLE_EQ(s.median(), 3);
+  s.add(1);  // cached sort must invalidate
+  EXPECT_DOUBLE_EQ(s.median(), 2);
+}
+
+TEST(MedianOf, OddCount) {
+  EXPECT_DOUBLE_EQ(median_of(std::vector<double>{3, 1, 2}), 2);
+  EXPECT_EQ(median_of(std::vector<std::int64_t>{9, 5, 7}), 7);
+}
+
+TEST(MedianOf, EvenCountDouble) {
+  EXPECT_DOUBLE_EQ(median_of(std::vector<double>{1, 2, 3, 4}), 2.5);
+}
+
+TEST(MedianOf, EvenCountIntIsLowerMedianSample) {
+  // Integer median must be an actual sample (honest-range argument).
+  EXPECT_EQ(median_of(std::vector<std::int64_t>{10, 20, 30, 40}), 20);
+}
+
+TEST(MedianOf, EmptyThrows) {
+  EXPECT_THROW(median_of(std::vector<double>{}), contract_violation);
+  EXPECT_THROW(median_of(std::vector<std::int64_t>{}), contract_violation);
+}
+
+TEST(MedianOf, RobustToOutlierMinority) {
+  // With a majority of in-range values, the median stays in range.
+  EXPECT_EQ(median_of(std::vector<std::int64_t>{100, 101, 102, 0, 100000}),
+            101);
+}
+
+}  // namespace
+}  // namespace asyncdr

@@ -1,0 +1,43 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace asyncdr {
+namespace {
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"name", "q"});
+  t.add("naive", std::size_t{4096});
+  t.add("crash", std::size_t{512});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name  | q    |"), std::string::npos);
+  EXPECT_NE(out.find("| naive | 4096 |"), std::string::npos);
+  EXPECT_NE(out.find("| crash | 512  |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, FormatsDoublesWithTwoDecimals) {
+  Table t({"x"});
+  t.add(3.14159);
+  EXPECT_NE(t.render().find("3.14"), std::string::npos);
+}
+
+TEST(Table, FormatsBools) {
+  Table t({"ok"});
+  t.add(true);
+  t.add(false);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("yes"), std::string::npos);
+  EXPECT_NE(out.find("no"), std::string::npos);
+}
+
+TEST(Table, RowArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), contract_violation);
+  EXPECT_THROW(Table({}), contract_violation);
+}
+
+}  // namespace
+}  // namespace asyncdr

@@ -1,0 +1,57 @@
+#include "dr/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace asyncdr::dr {
+namespace {
+
+TEST(Config, MaxFaultyIsFloorBetaK) {
+  Config cfg{.n = 10, .k = 10, .beta = 0.34};
+  EXPECT_EQ(cfg.max_faulty(), 3u);
+  cfg.beta = 0.5;
+  EXPECT_EQ(cfg.max_faulty(), 5u);
+  cfg.beta = 0.0;
+  EXPECT_EQ(cfg.max_faulty(), 0u);
+}
+
+TEST(Config, FloatRepresentationDoesNotUndercount) {
+  // 0.2 * 5 must give t = 1 despite 0.2 being inexact in binary.
+  const Config cfg{.n = 10, .k = 5, .beta = 0.2};
+  EXPECT_EQ(cfg.max_faulty(), 1u);
+  const Config cfg2{.n = 10, .k = 15, .beta = 0.4};
+  EXPECT_EQ(cfg2.max_faulty(), 6u);
+}
+
+TEST(Config, MinHonestComplementsMaxFaulty) {
+  const Config cfg{.n = 16, .k = 12, .beta = 0.4};
+  EXPECT_EQ(cfg.min_honest() + cfg.max_faulty(), cfg.k);
+  EXPECT_EQ(cfg.min_honest(), 8u);
+}
+
+TEST(Config, ValidationRejectsBadValues) {
+  Config cfg{.n = 16, .k = 4, .beta = 0.25};
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.n = 0;
+  EXPECT_THROW(cfg.validate(), contract_violation);
+  cfg = {.n = 16, .k = 1, .beta = 0.0};
+  EXPECT_THROW(cfg.validate(), contract_violation);
+  cfg = {.n = 16, .k = 4, .beta = 1.0};
+  EXPECT_THROW(cfg.validate(), contract_violation);
+  cfg = {.n = 16, .k = 4, .beta = -0.1};
+  EXPECT_THROW(cfg.validate(), contract_violation);
+  cfg = {.n = 16, .k = 4, .beta = 0.25, .message_bits = 0};
+  EXPECT_THROW(cfg.validate(), contract_violation);
+}
+
+TEST(Config, ToStringMentionsParameters) {
+  const Config cfg{.n = 64, .k = 8, .beta = 0.25, .message_bits = 32, .seed = 5};
+  const std::string s = cfg.to_string();
+  EXPECT_NE(s.find("n=64"), std::string::npos);
+  EXPECT_NE(s.find("k=8"), std::string::npos);
+  EXPECT_NE(s.find("t=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asyncdr::dr

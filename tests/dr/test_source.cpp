@@ -1,0 +1,83 @@
+#include "dr/source.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace asyncdr::dr {
+namespace {
+
+TEST(Source, AnswersTruthfully) {
+  Source src(BitVec::from_string("10110"), 3);
+  EXPECT_TRUE(src.query(0, 0));
+  EXPECT_FALSE(src.query(0, 1));
+  EXPECT_EQ(src.query_range(1, 1, 3).to_string(), "011");
+  EXPECT_EQ(src.query_indices(2, {4, 0}).to_string(), "01");
+}
+
+TEST(Source, AccountsPerPeerBits) {
+  Source src(BitVec(100), 2);
+  src.query(0, 5);
+  src.query_range(0, 10, 20);
+  src.query_indices(1, {1, 2, 3});
+  EXPECT_EQ(src.bits_queried(0), 21u);
+  EXPECT_EQ(src.bits_queried(1), 3u);
+  src.reset_accounting();
+  EXPECT_EQ(src.bits_queried(0), 0u);
+}
+
+TEST(Source, RepeatQueriesBilledAgain) {
+  // Query complexity counts queries, not distinct bits learned.
+  Source src(BitVec(10), 1);
+  src.query(0, 3);
+  src.query(0, 3);
+  EXPECT_EQ(src.bits_queried(0), 2u);
+}
+
+TEST(Source, IndexRecording) {
+  Source src(BitVec(50), 2);
+  src.enable_index_recording(true);
+  src.query(0, 7);
+  src.query_range(0, 10, 5);
+  const IntervalSet& q = src.queried_indices(0);
+  EXPECT_TRUE(q.contains(7));
+  EXPECT_TRUE(q.contains(12));
+  EXPECT_FALSE(q.contains(8));
+  EXPECT_EQ(q.count(), 6u);
+}
+
+TEST(Source, RecordingDisabledThrows) {
+  Source src(BitVec(10), 1);
+  EXPECT_THROW(src.queried_indices(0), contract_violation);
+}
+
+TEST(Source, OverlayRedirectsOnePeerOnly) {
+  Source src(BitVec::from_string("0000"), 2);
+  src.set_overlay(1, BitVec::from_string("1111"));
+  EXPECT_FALSE(src.query(0, 2));
+  EXPECT_TRUE(src.query(1, 2));
+  // Accounting still applies to overlay queries.
+  EXPECT_EQ(src.bits_queried(1), 1u);
+  // Ground truth unchanged.
+  EXPECT_EQ(src.data().to_string(), "0000");
+}
+
+TEST(Source, SetDataKeepsCounters) {
+  Source src(BitVec::from_string("00"), 1);
+  src.query(0, 0);
+  src.set_data(BitVec::from_string("11"));
+  EXPECT_TRUE(src.query(0, 0));
+  EXPECT_EQ(src.bits_queried(0), 2u);
+  EXPECT_THROW(src.set_data(BitVec(3)), contract_violation);
+}
+
+TEST(Source, BoundsChecked) {
+  Source src(BitVec(8), 2);
+  EXPECT_THROW(src.query(0, 8), contract_violation);
+  EXPECT_THROW(src.query(2, 0), contract_violation);
+  EXPECT_THROW(src.query_range(0, 5, 4), contract_violation);
+  EXPECT_THROW(src.set_overlay(0, BitVec(9)), contract_violation);
+}
+
+}  // namespace
+}  // namespace asyncdr::dr

@@ -1,0 +1,130 @@
+#include "dr/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace asyncdr::dr {
+namespace {
+
+/// Trivial correct peer: queries everything and finishes.
+struct QueryAllPeer final : Peer {
+  void on_start() override { finish(query_range(0, n())); }
+  void on_message(sim::PeerId, const sim::Payload&) override {}
+};
+
+/// Outputs the wrong array.
+struct WrongPeer final : Peer {
+  void on_start() override { finish(BitVec(n(), true)); }
+  void on_message(sim::PeerId, const sim::Payload&) override {}
+};
+
+/// Never terminates.
+struct StuckPeer final : Peer {
+  void on_start() override {}
+  void on_message(sim::PeerId, const sim::Payload&) override {}
+};
+
+Config small_cfg() {
+  return Config{.n = 32, .k = 3, .beta = 0.34, .message_bits = 16, .seed = 1};
+}
+
+TEST(World, HappyPathReport) {
+  World w(small_cfg(), BitVec(32));
+  for (sim::PeerId i = 0; i < 3; ++i) w.set_peer(i, std::make_unique<QueryAllPeer>());
+  const RunReport r = w.run();
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.all_terminated);
+  EXPECT_TRUE(r.all_correct);
+  EXPECT_EQ(r.query_complexity, 32u);
+  EXPECT_EQ(r.total_queries, 96u);
+  EXPECT_EQ(r.message_complexity, 0u);
+  ASSERT_EQ(r.outputs.size(), 3u);
+  EXPECT_EQ(r.outputs[0], BitVec(32));
+}
+
+TEST(World, DetectsWrongOutput) {
+  World w(small_cfg(), BitVec(32));
+  w.set_peer(0, std::make_unique<QueryAllPeer>());
+  w.set_peer(1, std::make_unique<WrongPeer>());
+  w.set_peer(2, std::make_unique<QueryAllPeer>());
+  const RunReport r = w.run();
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.all_correct);
+  ASSERT_EQ(r.incorrect_peers.size(), 1u);
+  EXPECT_EQ(r.incorrect_peers[0], 1u);
+}
+
+TEST(World, DetectsNonTermination) {
+  World w(small_cfg(), BitVec(32));
+  w.set_peer(0, std::make_unique<QueryAllPeer>());
+  w.set_peer(1, std::make_unique<StuckPeer>());
+  w.set_peer(2, std::make_unique<QueryAllPeer>());
+  const RunReport r = w.run();
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.all_terminated);
+  ASSERT_EQ(r.unterminated_peers.size(), 1u);
+  EXPECT_EQ(r.unterminated_peers[0], 1u);
+}
+
+TEST(World, FaultyPeersExcludedFromVerdictAndMetrics) {
+  World w(small_cfg(), BitVec(32));
+  w.set_peer(0, std::make_unique<QueryAllPeer>());
+  w.set_peer(1, std::make_unique<WrongPeer>());
+  w.set_peer(2, std::make_unique<QueryAllPeer>());
+  w.mark_faulty(1);
+  const RunReport r = w.run();
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.total_queries, 64u);  // only the two nonfaulty peers count
+}
+
+TEST(World, FaultBudgetEnforced) {
+  World w(small_cfg(), BitVec(32));  // t = 1
+  w.mark_faulty(0);
+  EXPECT_THROW(w.mark_faulty(1), contract_violation);
+}
+
+TEST(World, CrashedPeerNeverStarts) {
+  World w(small_cfg(), BitVec(32));
+  for (sim::PeerId i = 0; i < 3; ++i) w.set_peer(i, std::make_unique<QueryAllPeer>());
+  w.schedule_crash_at(2, 0.0);
+  const RunReport r = w.run();
+  EXPECT_TRUE(r.ok());  // peer 2 is faulty, so its silence is fine
+  EXPECT_EQ(r.per_peer_queries[2], 0u);
+}
+
+TEST(World, StartTimesRespected) {
+  World w(small_cfg(), BitVec(32));
+  for (sim::PeerId i = 0; i < 3; ++i) w.set_peer(i, std::make_unique<QueryAllPeer>());
+  w.set_start_time(1, 5.0);
+  const RunReport r = w.run();
+  EXPECT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.time_complexity, 5.0);  // last termination at its start
+}
+
+TEST(World, RunOnlyOnce) {
+  World w(small_cfg(), BitVec(32));
+  for (sim::PeerId i = 0; i < 3; ++i) w.set_peer(i, std::make_unique<QueryAllPeer>());
+  (void)w.run();
+  EXPECT_THROW((void)w.run(), contract_violation);
+}
+
+TEST(World, MissingPeerRejected) {
+  World w(small_cfg(), BitVec(32));
+  w.set_peer(0, std::make_unique<QueryAllPeer>());
+  EXPECT_THROW((void)w.run(), contract_violation);
+}
+
+TEST(World, InputLengthMustMatch) {
+  EXPECT_THROW(World(small_cfg(), BitVec(31)), contract_violation);
+}
+
+TEST(World, ReportToStringMentionsVerdict) {
+  World w(small_cfg(), BitVec(32));
+  for (sim::PeerId i = 0; i < 3; ++i) w.set_peer(i, std::make_unique<QueryAllPeer>());
+  const RunReport r = w.run();
+  EXPECT_NE(r.to_string().find("ok=yes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asyncdr::dr

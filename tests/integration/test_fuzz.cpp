@@ -1,0 +1,150 @@
+// Randomized scenario fuzzing: compose arbitrary model shapes, adversary
+// mixes, and schedules from seeds and assert the Download predicate plus
+// the complexity bounds on every one. This is the catch-all net under the
+// targeted suites — any violation here is a seed-reproducible bug report.
+#include <gtest/gtest.h>
+
+#include "protocols/bounds.hpp"
+#include "protocols/runner.hpp"
+
+namespace asyncdr::proto {
+namespace {
+
+struct FuzzCase {
+  dr::Config cfg;
+  std::string description;
+  Scenario scenario;
+  std::size_t q_bound = 0;
+};
+
+/// Derives one full scenario from a seed.
+FuzzCase make_case(std::uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 1);
+  FuzzCase fuzz;
+
+  dr::Config& cfg = fuzz.cfg;
+  cfg.n = 256u << rng.below(5);            // 256 .. 4096
+  cfg.k = 6 + 2 * rng.below(10);           // 6 .. 24
+  cfg.message_bits = 64u << rng.below(5);  // 64 .. 1024
+  cfg.seed = seed;
+
+  // Protocol family first; beta regime must fit it.
+  const std::uint64_t family = rng.below(4);
+  Scenario& s = fuzz.scenario;
+  s.cfg = cfg;
+
+  switch (family) {
+    case 0: {  // naive: any beta, any adversary
+      s.cfg.beta = rng.uniform(0.0, 0.95);
+      s.honest = make_naive();
+      fuzz.description = "naive";
+      fuzz.q_bound = bounds::naive_q(s.cfg);
+      break;
+    }
+    case 1: {  // crash_one
+      s.cfg.k = std::max<std::size_t>(s.cfg.k, 3);
+      s.cfg.beta = 1.0 / static_cast<double>(s.cfg.k);
+      s.honest = make_crash_one();
+      fuzz.description = "crash_one";
+      fuzz.q_bound = bounds::crash_one_q(s.cfg);
+      break;
+    }
+    case 2: {  // crash_multi
+      s.cfg.beta = rng.uniform(0.0, 0.85);
+      s.honest = make_crash_multi({.fast_cancel = rng.flip()});
+      fuzz.description = "crash_multi";
+      fuzz.q_bound = bounds::crash_multi_q(s.cfg);
+      break;
+    }
+    default: {  // committee
+      s.cfg.beta = rng.uniform(0.0, 0.49);
+      while (2 * s.cfg.max_faulty() + 1 > s.cfg.k) s.cfg.beta *= 0.8;
+      s.honest = make_committee();
+      fuzz.description = "committee";
+      fuzz.q_bound = bounds::committee_q(s.cfg);
+      break;
+    }
+  }
+
+  // Adversary mix within the fault budget.
+  const std::size_t t = s.cfg.max_faulty();
+  const bool byzantine_model = family == 0 || family == 3;
+  if (t > 0) {
+    if (byzantine_model) {
+      // Committee liars need the committee structure (2t+1 <= k), which the
+      // naive rows' beta can violate — keep them to the committee family.
+      switch (family == 3 ? rng.below(3) : rng.below(2)) {
+        case 0: s.byzantine = make_silent_byz(); break;
+        case 1: s.byzantine = make_garbage_byz(); break;
+        default:
+          s.byzantine = make_committee_liar(
+              rng.flip() ? CommitteeLiarPeer::Mode::kFlipAll
+                         : CommitteeLiarPeer::Mode::kEquivocate);
+          break;
+      }
+      s.byz_ids = pick_faulty(s.cfg, 1 + rng.below(t), seed);
+      fuzz.description += " + byz";
+    } else {
+      Rng crash_rng(seed + 17);
+      const std::size_t victims = 1 + rng.below(t);
+      switch (rng.below(4)) {
+        case 0:
+          s.crashes = adv::CrashPlan::silent_prefix(victims);
+          break;
+        case 1:
+          s.crashes = adv::CrashPlan::random(s.cfg, crash_rng, victims, 8.0);
+          break;
+        case 2:
+          s.crashes =
+              adv::CrashPlan::staggered(s.cfg, crash_rng, victims, 1.5);
+          break;
+        default:
+          s.crashes = adv::CrashPlan::partial_broadcast(
+              s.cfg, crash_rng, victims, rng.below(2 * s.cfg.k));
+          break;
+      }
+      fuzz.description += " + crashes";
+    }
+  }
+
+  // Scheduling adversary.
+  switch (rng.below(4)) {
+    case 0: break;  // default seeded uniform
+    case 1: s.latency = fixed_latency(0.2 + 0.7 * rng.uniform01()); break;
+    case 2: s.latency = seniority_latency(); break;
+    default: {
+      std::vector<sim::PeerId> slow;
+      for (sim::PeerId id = 0; id < s.cfg.k; ++id) {
+        if (rng.flip(0.3)) slow.push_back(id);
+      }
+      s.latency = sender_delay_latency(slow, 1.0, 0.05);
+      break;
+    }
+  }
+
+  // Staggered starts for a random subset.
+  for (sim::PeerId id = 0; id < s.cfg.k; ++id) {
+    if (rng.flip(0.2)) s.start_times[id] = rng.uniform(0.0, 5.0);
+  }
+  return fuzz;
+}
+
+class Fuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Fuzz, ScenarioHoldsDownloadPredicateAndBound) {
+  // 8 derived scenarios per top-level seed: 200 scenarios across the suite.
+  for (std::uint64_t sub = 0; sub < 8; ++sub) {
+    FuzzCase fuzz = make_case(GetParam() * 100 + sub);
+    const dr::RunReport report = run_scenario(fuzz.scenario);
+    EXPECT_TRUE(report.ok())
+        << fuzz.description << " " << fuzz.scenario.cfg.to_string() << " -> "
+        << report.to_string();
+    EXPECT_LE(report.query_complexity, fuzz.q_bound)
+        << fuzz.description << " " << fuzz.scenario.cfg.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace asyncdr::proto

@@ -1,0 +1,108 @@
+#include "oracle/odc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace asyncdr::oracle {
+namespace {
+
+SourceBank::Spec bank_spec(std::uint64_t seed = 5) {
+  return SourceBank::Spec{.sources = 8,
+                          .cells = 8,
+                          .value_bits = 16,
+                          .psi = 0.25,
+                          .noise = 2,
+                          .seed = seed};
+}
+
+dr::Config node_cfg(std::size_t k, double beta) {
+  return dr::Config{
+      .n = 1, .k = k, .beta = beta, .message_bits = 512, .seed = 11};
+}
+
+TEST(NaiveOdc, SatisfiesOddAndCostsFullReads) {
+  const SourceBank bank = SourceBank::build(bank_spec());
+  const OdcResult result = run_naive_odc(bank, /*nodes=*/16);
+  EXPECT_TRUE(result.ok());
+  ASSERT_EQ(result.published.size(), 16u);
+  // Per-node cost: (2*psi*m + 1) full sources = 5 * 8 cells * 16 bits.
+  EXPECT_EQ(result.max_node_query_bits, 5u * 8u * 16u);
+  EXPECT_EQ(result.message_complexity, 0u);
+}
+
+TEST(NaiveOdc, MedianDefeatsByzantineSources) {
+  const SourceBank bank = SourceBank::build(bank_spec(9));
+  const OdcResult result = run_naive_odc(bank, 4);
+  EXPECT_TRUE(result.odd_satisfied);
+  for (const auto& node_values : result.published) {
+    for (std::size_t c = 0; c < node_values.size(); ++c) {
+      EXPECT_TRUE(bank.in_honest_range(c, node_values[c]));
+    }
+  }
+}
+
+TEST(DownloadOdc, HonestNodesAgreeAndSatisfyOdd) {
+  const SourceBank bank = SourceBank::build(bank_spec());
+  DownloadOdcOptions options;
+  options.node_cfg = node_cfg(16, 0.25);
+  options.honest = proto::make_committee();
+  const OdcResult result = run_download_odc(bank, options);
+  EXPECT_TRUE(result.ok()) << result.download_failures;
+  ASSERT_EQ(result.published.size(), 16u);
+  // Download is exact, so every honest node publishes identical values.
+  for (const auto& node_values : result.published) {
+    EXPECT_EQ(node_values, result.published[0]);
+  }
+}
+
+TEST(DownloadOdc, WorksWithByzantineOracleNodes) {
+  const SourceBank bank = SourceBank::build(bank_spec(7));
+  DownloadOdcOptions options;
+  options.node_cfg = node_cfg(13, 0.3);
+  options.honest = proto::make_committee();
+  options.byzantine = proto::make_committee_liar(
+      proto::CommitteeLiarPeer::Mode::kFlipAll);
+  options.byz_nodes = {1, 5, 9};
+  const OdcResult result = run_download_odc(bank, options);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.published.size(), 10u);  // honest nodes only
+}
+
+TEST(DownloadOdc, WorksWithCrashModelNodes) {
+  const SourceBank bank = SourceBank::build(bank_spec(13));
+  DownloadOdcOptions options;
+  options.node_cfg = node_cfg(12, 0.0);
+  options.honest = proto::make_crash_multi();
+  const OdcResult result = run_download_odc(bank, options);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(DownloadOdc, PerNodeCostBeatsNaiveWhenKIsLarge) {
+  // Theorem 4.1 vs 4.2: the Download-based collection divides the per-node
+  // load across the committee.
+  auto spec = bank_spec(21);
+  spec.cells = 64;
+  const SourceBank bank = SourceBank::build(spec);
+
+  const OdcResult naive = run_naive_odc(bank, 32);
+
+  DownloadOdcOptions options;
+  options.node_cfg = node_cfg(32, 0.1);
+  options.honest = proto::make_committee();
+  const OdcResult dl = run_download_odc(bank, options);
+
+  EXPECT_TRUE(naive.ok());
+  EXPECT_TRUE(dl.ok());
+  EXPECT_LT(dl.max_node_query_bits, naive.max_node_query_bits);
+}
+
+TEST(DownloadOdc, RequiresHonestFactory) {
+  const SourceBank bank = SourceBank::build(bank_spec());
+  DownloadOdcOptions options;
+  options.node_cfg = node_cfg(8, 0.0);
+  EXPECT_THROW(run_download_odc(bank, options), contract_violation);
+}
+
+}  // namespace
+}  // namespace asyncdr::oracle

@@ -1,0 +1,90 @@
+#include "oracle/source_bank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace asyncdr::oracle {
+namespace {
+
+SourceBank::Spec spec() {
+  return SourceBank::Spec{.sources = 12,
+                          .cells = 8,
+                          .value_bits = 16,
+                          .psi = 0.25,
+                          .noise = 3,
+                          .seed = 5};
+}
+
+TEST(SourceBank, BuildsRequestedShape) {
+  const SourceBank bank = SourceBank::build(spec());
+  EXPECT_EQ(bank.count(), 12u);
+  EXPECT_EQ(bank.byzantine_count(), 3u);  // floor(0.25 * 12)
+  for (std::size_t i = 0; i < bank.count(); ++i) {
+    EXPECT_EQ(bank.source(i).cells(), 8u);
+    EXPECT_EQ(bank.source(i).value_bits(), 16u);
+  }
+}
+
+TEST(SourceBank, HonestValuesStayWithinNoiseBand) {
+  const SourceBank bank = SourceBank::build(spec());
+  for (std::size_t c = 0; c < 8; ++c) {
+    const auto [lo, hi] = bank.honest_range(c);
+    EXPECT_LE(hi - lo, 2 * 3);  // +- noise around a common base
+    for (std::size_t i = 0; i < bank.count(); ++i) {
+      if (bank.is_byzantine(i)) continue;
+      const auto v = bank.source(i).read(c);
+      EXPECT_GE(v, lo);
+      EXPECT_LE(v, hi);
+    }
+  }
+}
+
+TEST(SourceBank, ByzantineSourcesLieFarOutside) {
+  const SourceBank bank = SourceBank::build(spec());
+  std::size_t outside = 0, total = 0;
+  for (std::size_t i = 0; i < bank.count(); ++i) {
+    if (!bank.is_byzantine(i)) continue;
+    for (std::size_t c = 0; c < 8; ++c) {
+      ++total;
+      if (!bank.in_honest_range(c, bank.source(i).read(c))) ++outside;
+    }
+  }
+  EXPECT_GT(total, 0u);
+  // Extreme-value lies are essentially always outside the honest band.
+  EXPECT_GE(outside * 10, total * 9);
+}
+
+TEST(SourceBank, InHonestRangePredicate) {
+  const SourceBank bank = SourceBank::build(spec());
+  const auto [lo, hi] = bank.honest_range(0);
+  EXPECT_TRUE(bank.in_honest_range(0, lo));
+  EXPECT_TRUE(bank.in_honest_range(0, hi));
+  EXPECT_FALSE(bank.in_honest_range(0, hi + 1));
+  EXPECT_FALSE(bank.in_honest_range(0, lo - 1));
+}
+
+TEST(SourceBank, DeterministicForSeed) {
+  const SourceBank a = SourceBank::build(spec());
+  const SourceBank b = SourceBank::build(spec());
+  for (std::size_t i = 0; i < a.count(); ++i) {
+    EXPECT_EQ(a.source(i).bits(), b.source(i).bits());
+    EXPECT_EQ(a.is_byzantine(i), b.is_byzantine(i));
+  }
+}
+
+TEST(SourceBank, RejectsMajorityByzantinePsi) {
+  auto s = spec();
+  s.psi = 0.5;
+  EXPECT_THROW(SourceBank::build(s), contract_violation);
+}
+
+TEST(SourceBank, ZeroPsiAllHonest) {
+  auto s = spec();
+  s.psi = 0.0;
+  const SourceBank bank = SourceBank::build(s);
+  EXPECT_EQ(bank.byzantine_count(), 0u);
+}
+
+}  // namespace
+}  // namespace asyncdr::oracle

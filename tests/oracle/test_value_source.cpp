@@ -1,0 +1,52 @@
+#include "oracle/value_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace asyncdr::oracle {
+namespace {
+
+TEST(ValueSource, EncodesCellsLsbFirst) {
+  const ValueSource src({5, 0, 7}, 3);
+  EXPECT_EQ(src.cells(), 3u);
+  EXPECT_EQ(src.value_bits(), 3u);
+  EXPECT_EQ(src.total_bits(), 9u);
+  // 5 = 101 LSB-first "101"; 0 = "000"; 7 = "111".
+  EXPECT_EQ(src.bits().to_string(), "101000111");
+}
+
+TEST(ValueSource, ReadReturnsCellValue) {
+  const ValueSource src({42, 17}, 8);
+  EXPECT_EQ(src.read(0), 42);
+  EXPECT_EQ(src.read(1), 17);
+  EXPECT_THROW(src.read(2), contract_violation);
+}
+
+TEST(ValueSource, DecodeInvertsEncode) {
+  const ValueSource src({1234, 0, 65535, 9}, 16);
+  for (std::size_t c = 0; c < src.cells(); ++c) {
+    EXPECT_EQ(src.decode(src.bits(), c), src.read(c));
+  }
+}
+
+TEST(ValueSource, DecodeArbitraryArray) {
+  const ValueSource src({0, 0}, 4);
+  BitVec alt(8);
+  alt.set(0, true);  // cell 0 = 1
+  alt.set(5, true);  // cell 1 = 2
+  EXPECT_EQ(src.decode(alt, 0), 1);
+  EXPECT_EQ(src.decode(alt, 1), 2);
+  EXPECT_THROW(src.decode(BitVec(7), 0), contract_violation);
+}
+
+TEST(ValueSource, RejectsBadConstruction) {
+  EXPECT_THROW(ValueSource({}, 8), contract_violation);
+  EXPECT_THROW(ValueSource({1}, 0), contract_violation);
+  EXPECT_THROW(ValueSource({1}, 64), contract_violation);
+  EXPECT_THROW(ValueSource({8}, 3), contract_violation);   // 8 needs 4 bits
+  EXPECT_THROW(ValueSource({-1}, 3), contract_violation);  // negative
+}
+
+}  // namespace
+}  // namespace asyncdr::oracle

@@ -1,0 +1,26 @@
+// Shared helpers for protocol tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "protocols/bounds.hpp"
+#include "protocols/runner.hpp"
+
+namespace asyncdr::proto::testing {
+
+inline dr::Config cfg(std::size_t n, std::size_t k, double beta,
+                      std::uint64_t seed = 1, std::size_t message_bits = 256) {
+  return dr::Config{
+      .n = n, .k = k, .beta = beta, .message_bits = message_bits, .seed = seed};
+}
+
+/// Runs and asserts the Download correctness predicate, returning the
+/// report for further complexity assertions.
+inline dr::RunReport expect_ok(const Scenario& scenario,
+                               const char* label = "") {
+  const dr::RunReport report = run_scenario(scenario);
+  EXPECT_TRUE(report.ok()) << label << ": " << report.to_string();
+  return report;
+}
+
+}  // namespace asyncdr::proto::testing

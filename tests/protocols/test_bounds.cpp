@@ -1,0 +1,92 @@
+#include "protocols/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+
+namespace asyncdr::proto {
+namespace {
+
+using testing::cfg;
+
+TEST(Bounds, Naive) { EXPECT_EQ(bounds::naive_q(cfg(777, 4, 0.0)), 777u); }
+
+TEST(Bounds, CrashOneIsBlockPlusShare) {
+  EXPECT_EQ(bounds::crash_one_q(cfg(4096, 8, 0.125)), 512u + 74u);
+  EXPECT_EQ(bounds::crash_one_q(cfg(100, 4, 0.25)), 25u + 9u);
+}
+
+TEST(Bounds, CrashMultiGeometricSum) {
+  // beta = 0: one phase plus the direct-query tail (within the
+  // concentration slack of one phase share).
+  const auto c0 = cfg(1 << 16, 16, 0.0);
+  const std::size_t one_phase = (1u << 16) / 16;
+  EXPECT_GE(bounds::crash_multi_q(c0), 2 * one_phase);
+  EXPECT_LE(bounds::crash_multi_q(c0), 2 * one_phase + 300);
+  // Larger beta costs more but stays well below n for n >> k^2.
+  const auto c1 = cfg(1 << 16, 16, 0.5);
+  EXPECT_GT(bounds::crash_multi_q(c1), bounds::crash_multi_q(c0));
+  EXPECT_LT(bounds::crash_multi_q(c1), (1u << 16) / 2);
+}
+
+TEST(Bounds, CrashMultiMonotoneInBeta) {
+  std::size_t prev = 0;
+  for (double beta : {0.0, 0.25, 0.5, 0.75, 0.9}) {
+    const auto q = bounds::crash_multi_q(cfg(1 << 15, 32, beta));
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(Bounds, CommitteeScalesWithBeta) {
+  EXPECT_EQ(bounds::committee_q(cfg(4096, 16, 0.25)), 2305u);
+  EXPECT_LT(bounds::committee_q(cfg(4096, 16, 0.1)),
+            bounds::committee_q(cfg(4096, 16, 0.4)));
+}
+
+TEST(Bounds, CommitteeMessageAndTimeMatchMeasurement) {
+  // The committee M/T formulas must majorize a real run.
+  Scenario s;
+  s.cfg = cfg(4096, 16, 0.25, 3, /*message_bits=*/512);
+  s.honest = make_committee();
+  s.byzantine = make_silent_byz();
+  s.byz_ids = pick_faulty(s.cfg, s.cfg.max_faulty());
+  const auto report = run_scenario(s);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LE(report.message_complexity, bounds::committee_m(s.cfg));
+  EXPECT_LE(report.time_complexity, bounds::committee_t(s.cfg));
+  // And they shrink with B.
+  auto big_b = s.cfg;
+  big_b.message_bits = 1 << 14;
+  EXPECT_LT(bounds::committee_m(big_b), bounds::committee_m(s.cfg));
+  EXPECT_LT(bounds::committee_t(big_b), bounds::committee_t(s.cfg));
+}
+
+TEST(Bounds, TwoCycleFallbackIsN) {
+  RandParams p;
+  p.naive_fallback = true;
+  EXPECT_EQ(bounds::two_cycle_q(cfg(999, 8, 0.5), p), 999u);
+  EXPECT_EQ(bounds::multi_cycle_q(cfg(999, 8, 0.5), p), 999u);
+}
+
+TEST(Bounds, TwoCycleSegmentPlusTreeAllowance) {
+  RandParams p;
+  p.segments = 8;
+  p.eta = 64;
+  const auto c = cfg(4096, 128, 0.125);
+  EXPECT_EQ(bounds::two_cycle_q(c, p), 512u + 256u + 1u);
+}
+
+TEST(Bounds, MultiCycleGrowsWithCycles) {
+  RandParams p2;
+  p2.segments = 2;
+  RandParams p16;
+  p16.segments = 16;
+  const auto c = cfg(65536, 128, 0.125);
+  // More segments: cheaper cycle-1 but more cycles of tree allowance.
+  EXPECT_LT(bounds::multi_cycle_q(c, p16) - 65536 / 16,
+            bounds::multi_cycle_q(c, p2));
+}
+
+}  // namespace
+}  // namespace asyncdr::proto

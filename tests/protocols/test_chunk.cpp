@@ -1,0 +1,101 @@
+#include "protocols/chunk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace asyncdr::proto {
+namespace {
+
+TEST(BitChunk, ExtractApplyRoundTrip) {
+  const BitVec src = BitVec::from_string("1011001110");
+  IntervalSet idx;
+  idx.insert(1, 4);
+  idx.insert(7, 9);
+  const BitChunk chunk = BitChunk::extract(src, idx);
+  EXPECT_EQ(chunk.count(), 5u);
+  EXPECT_EQ(chunk.values.to_string(), "01111");
+
+  BitVec out(10);
+  IntervalSet known;
+  chunk.apply_to(out, known);
+  EXPECT_EQ(out.to_string(), "0011000110");
+  EXPECT_EQ(known, idx);
+}
+
+TEST(BitChunk, CoversSubsets) {
+  IntervalSet idx = IntervalSet::of(0, 10);
+  const BitChunk chunk = BitChunk::extract(BitVec(20), idx);
+  EXPECT_TRUE(chunk.covers(IntervalSet::of(2, 8)));
+  EXPECT_TRUE(chunk.covers(IntervalSet{}));
+  EXPECT_FALSE(chunk.covers(IntervalSet::of(5, 11)));
+}
+
+TEST(BitChunk, EmptyChunk) {
+  const BitChunk chunk;
+  EXPECT_TRUE(chunk.empty());
+  BitVec out(5);
+  IntervalSet known;
+  chunk.apply_to(out, known);
+  EXPECT_TRUE(known.empty());
+}
+
+TEST(BitChunk, MismatchedSizesThrow) {
+  EXPECT_THROW(BitChunk(IntervalSet::of(0, 3), BitVec(2)), contract_violation);
+}
+
+TEST(BitChunk, SizeBitsCountsValuesAndBounds) {
+  IntervalSet idx;
+  idx.insert(0, 4);
+  idx.insert(8, 12);
+  const BitChunk chunk = BitChunk::extract(BitVec(20), idx);
+  EXPECT_EQ(chunk.size_bits(), 8u + 2 * 128u);
+}
+
+TEST(MaskChunk, ExtractApplyRoundTrip) {
+  const BitVec src = BitVec::from_string("1011001110");
+  BitVec mask(10);
+  mask.set(0, true);
+  mask.set(2, true);
+  mask.set(9, true);
+  const MaskChunk chunk = MaskChunk::extract(src, mask);
+  EXPECT_EQ(chunk.count(), 3u);
+  EXPECT_EQ(chunk.values.to_string(), "110");
+
+  BitVec out(10);
+  BitVec known(10);
+  chunk.apply_to(out, known);
+  EXPECT_EQ(out.to_string(), "1010000000");
+  EXPECT_EQ(known, mask);
+}
+
+TEST(MaskChunk, MismatchedThrow) {
+  EXPECT_THROW(MaskChunk(BitVec(5, true), BitVec(4)), contract_violation);
+  const MaskChunk c = MaskChunk::extract(BitVec(5), BitVec(5));
+  BitVec out(6), known(6);
+  EXPECT_THROW(c.apply_to(out, known), contract_violation);
+}
+
+TEST(MaskChunk, WireSizeChargesValuesOnly) {
+  const MaskChunk c = MaskChunk::extract(BitVec(1000), BitVec(1000, true));
+  EXPECT_EQ(c.size_bits(), 1000u + 64u);
+}
+
+TEST(MaskChunk, RandomRoundTripProperty) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.below(300);
+    const BitVec src = BitVec::generate(n, [&] { return rng.flip(); });
+    const BitVec mask = BitVec::generate(n, [&] { return rng.flip(0.3); });
+    const MaskChunk chunk = MaskChunk::extract(src, mask);
+    BitVec out(n), known(n);
+    chunk.apply_to(out, known);
+    EXPECT_EQ(known, mask);
+    mask.for_each_set(
+        [&](std::size_t i) { EXPECT_EQ(out.get(i), src.get(i)); });
+  }
+}
+
+}  // namespace
+}  // namespace asyncdr::proto

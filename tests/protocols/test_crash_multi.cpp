@@ -1,0 +1,221 @@
+#include "protocols/crash_multi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "harness.hpp"
+#include "protocols/bounds.hpp"
+
+namespace asyncdr::proto {
+namespace {
+
+using testing::cfg;
+using testing::expect_ok;
+
+TEST(CrashMulti, FaultFreeIsQueryOptimal) {
+  Scenario s;
+  s.cfg = cfg(1 << 14, 16, 0.0);
+  s.honest = make_crash_multi();
+  const auto report = expect_ok(s, "fault-free");
+  // One phase of n/k plus no direct tail.
+  EXPECT_EQ(report.query_complexity, (1u << 14) / 16);
+}
+
+TEST(CrashMulti, ToleratesMaxCrashesSilentPrefix) {
+  Scenario s;
+  s.cfg = cfg(1 << 13, 16, 0.5);
+  s.honest = make_crash_multi();
+  s.crashes = adv::CrashPlan::silent_prefix(8);
+  const auto report = expect_ok(s, "silent prefix");
+  EXPECT_LE(report.query_complexity, bounds::crash_multi_q(s.cfg));
+}
+
+TEST(CrashMulti, HighBetaNinetyPercentCrashes) {
+  Scenario s;
+  s.cfg = cfg(1 << 13, 40, 0.9);
+  s.honest = make_crash_multi();
+  s.crashes = adv::CrashPlan::silent_prefix(36);
+  const auto report = expect_ok(s, "beta=0.9");
+  EXPECT_LE(report.query_complexity, bounds::crash_multi_q(s.cfg));
+  // Still far below naive.
+  EXPECT_LT(report.query_complexity, s.cfg.n / 2);
+}
+
+TEST(CrashMulti, StaggeredCrashesAcrossPhases) {
+  Scenario s;
+  s.cfg = cfg(1 << 13, 12, 0.5, 3);
+  s.honest = make_crash_multi();
+  Rng rng(17);
+  s.crashes = adv::CrashPlan::staggered(s.cfg, rng, 6, 2.5);
+  const auto report = expect_ok(s, "staggered");
+  EXPECT_LE(report.query_complexity, bounds::crash_multi_q(s.cfg));
+}
+
+TEST(CrashMulti, PartialBroadcastCrashes) {
+  Scenario s;
+  s.cfg = cfg(1 << 12, 10, 0.4, 5);
+  s.honest = make_crash_multi();
+  Rng rng(29);
+  s.crashes = adv::CrashPlan::partial_broadcast(s.cfg, rng, 4, 3);
+  expect_ok(s, "partial broadcast");
+}
+
+TEST(CrashMulti, FastCancelOffStillCorrect) {
+  Scenario s;
+  s.cfg = cfg(1 << 12, 10, 0.5, 6);
+  s.honest = make_crash_multi({.fast_cancel = false});
+  Rng rng(31);
+  s.crashes = adv::CrashPlan::random(s.cfg, rng, 5, 6.0);
+  const auto report = expect_ok(s, "no fast-cancel");
+  EXPECT_LE(report.query_complexity, bounds::crash_multi_q(s.cfg));
+}
+
+TEST(CrashMulti, DeterministicGivenSeed) {
+  auto run_once = [] {
+    Scenario s;
+    s.cfg = cfg(1 << 12, 12, 0.5, 9);
+    s.honest = make_crash_multi();
+    Rng rng(5);
+    s.crashes = adv::CrashPlan::random(s.cfg, rng, 6, 5.0);
+    return run_scenario(s);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.query_complexity, b.query_complexity);
+  EXPECT_EQ(a.message_complexity, b.message_complexity);
+  EXPECT_DOUBLE_EQ(a.time_complexity, b.time_complexity);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(CrashMulti, SmallInputDirectPath) {
+  // n at most the direct-query threshold max(ceil(n/k), 2k): everyone just
+  // queries everything in phase 1.
+  Scenario s;
+  s.cfg = cfg(16, 8, 0.5, 2);
+  s.honest = make_crash_multi();
+  s.crashes = adv::CrashPlan::silent_prefix(4);
+  const auto report = expect_ok(s, "small input");
+  EXPECT_EQ(report.query_complexity, 16u);
+}
+
+TEST(CrashMulti, LateCrashAfterSomeTerminated) {
+  // A peer that survives long enough to rescue others, then crashes.
+  Scenario s;
+  s.cfg = cfg(1 << 12, 8, 0.25, 11);
+  s.honest = make_crash_multi();
+  s.crashes.add_at_time(3, 50.0);
+  s.crashes.add_at_time(5, 100.0);
+  expect_ok(s, "late crash");
+}
+
+TEST(CrashMulti, StragglerStartTimes) {
+  Scenario s;
+  s.cfg = cfg(1 << 12, 8, 0.25, 13);
+  s.honest = make_crash_multi();
+  s.start_times[0] = 20.0;  // very late starter must still catch up
+  s.crashes.add_at_time(7, 0.0);
+  expect_ok(s, "late start");
+}
+
+TEST(CrashMulti, OptionsControlPhaseStructure) {
+  // direct_threshold = n forces the one-shot naive path; max_phases = 1
+  // forces the direct tail right after phase 1.
+  dr::Config c = cfg(1 << 12, 8, 0.25, 4);
+  {
+    dr::World world(c, random_input(c.n, c.seed));
+    for (sim::PeerId id = 0; id < c.k; ++id) {
+      world.set_peer(id, std::make_unique<CrashMultiPeer>(
+                             CrashMultiPeer::Options{.direct_threshold = c.n}));
+    }
+    const auto report = world.run();
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report.query_complexity, c.n);  // everyone queried everything
+  }
+  {
+    dr::World world(c, random_input(c.n, c.seed));
+    std::vector<CrashMultiPeer*> peers;
+    for (sim::PeerId id = 0; id < c.k; ++id) {
+      auto p = std::make_unique<CrashMultiPeer>(
+          CrashMultiPeer::Options{.max_phases = 1});
+      peers.push_back(p.get());
+      world.set_peer(id, std::move(p));
+    }
+    world.schedule_crash_at(0, 0.0);
+    world.schedule_crash_at(1, 0.0);
+    const auto report = world.run();
+    ASSERT_TRUE(report.ok());
+    for (const auto* p : peers) EXPECT_LE(p->phases_run(), 2u);
+    // Phase 1 share + the two dead blocks queried directly.
+    EXPECT_LE(report.query_complexity, c.n / 8 + 2 * (c.n / 8) + 16);
+  }
+}
+
+TEST(CrashMulti, PhaseDiagnosticsShrinkWithCrashes) {
+  // More crashes -> more phases before the direct threshold is reached.
+  auto phases_with = [](std::size_t crashes) {
+    dr::Config c = cfg(1 << 14, 16, 0.75, 6);
+    dr::World world(c, random_input(c.n, c.seed));
+    std::vector<CrashMultiPeer*> peers;
+    for (sim::PeerId id = 0; id < c.k; ++id) {
+      auto p = std::make_unique<CrashMultiPeer>();
+      peers.push_back(p.get());
+      world.set_peer(id, std::move(p));
+    }
+    for (sim::PeerId id = 0; id < crashes; ++id) {
+      world.schedule_crash_at(id, 0.0);
+    }
+    const auto report = world.run();
+    EXPECT_TRUE(report.ok());
+    std::size_t max_phase = 0;
+    for (sim::PeerId id = crashes; id < 16; ++id) {
+      max_phase = std::max(max_phase, peers[id]->phases_run());
+    }
+    return max_phase;
+  };
+  EXPECT_LT(phases_with(0), phases_with(12));
+}
+
+// Full sweep: (n, k, beta) x adversary style x seed.
+using SweepParam = std::tuple<std::size_t, std::size_t, double, int>;
+class CrashMultiSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(CrashMultiSweep, CorrectAndWithinBound) {
+  const auto [n, k, beta, adversary] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Scenario s;
+    s.cfg = cfg(n, k, beta, seed * 100 + adversary);
+    s.honest = make_crash_multi();
+    const std::size_t t = s.cfg.max_faulty();
+    Rng rng(seed * 7 + static_cast<std::uint64_t>(adversary));
+    switch (adversary) {
+      case 0:
+        s.crashes = adv::CrashPlan::silent_prefix(t);
+        break;
+      case 1:
+        s.crashes = adv::CrashPlan::random(s.cfg, rng, t, 8.0);
+        break;
+      case 2:
+        s.crashes = adv::CrashPlan::staggered(s.cfg, rng, t, 1.5);
+        s.latency = seniority_latency();
+        break;
+      case 3:
+        s.crashes = adv::CrashPlan::partial_broadcast(s.cfg, rng, t, 2);
+        s.latency = uniform_latency(0.01, 1.0);
+        break;
+    }
+    const auto report = expect_ok(s, "sweep");
+    EXPECT_LE(report.query_complexity, bounds::crash_multi_q(s.cfg))
+        << s.cfg.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CrashMultiSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(1 << 12, 1 << 14),
+                       ::testing::Values<std::size_t>(8, 16, 32),
+                       ::testing::Values(0.25, 0.5, 0.75),
+                       ::testing::Values(0, 1, 2, 3)));
+
+}  // namespace
+}  // namespace asyncdr::proto

@@ -1,0 +1,137 @@
+#include "protocols/crash_one.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "harness.hpp"
+#include "protocols/bounds.hpp"
+
+namespace asyncdr::proto {
+namespace {
+
+using testing::cfg;
+using testing::expect_ok;
+
+dr::Config one_crash_cfg(std::size_t n, std::size_t k, std::uint64_t seed = 1) {
+  // beta chosen so t = 1 exactly.
+  return cfg(n, k, 1.0 / static_cast<double>(k), seed);
+}
+
+TEST(CrashOne, FaultFreeRunIsOptimal) {
+  Scenario s;
+  s.cfg = one_crash_cfg(4096, 8);
+  s.honest = make_crash_one();
+  const auto report = expect_ok(s, "fault-free");
+  // Without a crash every peer queries exactly its n/k block.
+  EXPECT_EQ(report.query_complexity, 512u);
+}
+
+TEST(CrashOne, SilentCrashFromStart) {
+  for (sim::PeerId victim : {0u, 3u, 7u}) {
+    Scenario s;
+    s.cfg = one_crash_cfg(4096, 8, 2 + victim);
+    s.honest = make_crash_one();
+    s.crashes.add_at_time(victim, 0.0);
+    const auto report = expect_ok(s, "silent crash");
+    EXPECT_LE(report.query_complexity, bounds::crash_one_q(s.cfg));
+  }
+}
+
+TEST(CrashOne, QueryBoundHolds) {
+  const auto bound = bounds::crash_one_q(one_crash_cfg(4096, 8));
+  EXPECT_EQ(bound, 512u + 74u);  // ceil(512/7) = 74
+}
+
+TEST(CrashOne, MinimalThreePeers) {
+  Scenario s;
+  s.cfg = one_crash_cfg(300, 3);
+  s.honest = make_crash_one();
+  s.crashes.add_at_time(1, 0.3);
+  expect_ok(s, "k=3");
+}
+
+TEST(CrashOne, RequiresThreePeers) {
+  Scenario s;
+  s.cfg = one_crash_cfg(16, 2);
+  s.honest = make_crash_one();
+  EXPECT_THROW(run_scenario(s), contract_violation);
+}
+
+TEST(CrashOne, InputSmallerThanPeerCount) {
+  Scenario s;
+  s.cfg = one_crash_cfg(3, 5);
+  s.honest = make_crash_one();
+  s.crashes.add_at_time(0, 0.0);
+  expect_ok(s, "n < k");
+}
+
+// Partial-broadcast sweep: the victim dies after 0..k-1 sends of its
+// stage-1 broadcast — the paper's "sent some but not all" adversary.
+class CrashOnePartialBroadcast : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrashOnePartialBroadcast, StillCorrect) {
+  Scenario s;
+  s.cfg = one_crash_cfg(2048, 8, 10 + GetParam());
+  s.honest = make_crash_one();
+  s.crashes.add_after_sends(2, GetParam());
+  const auto report = expect_ok(s, "partial broadcast");
+  EXPECT_LE(report.query_complexity, bounds::crash_one_q(s.cfg));
+}
+
+INSTANTIATE_TEST_SUITE_P(SendCounts, CrashOnePartialBroadcast,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7));
+
+// Crash-time sweep: dying at any point of the execution must be survivable.
+class CrashOneTiming : public ::testing::TestWithParam<double> {};
+
+TEST_P(CrashOneTiming, StillCorrect) {
+  Scenario s;
+  s.cfg = one_crash_cfg(2048, 6, 77);
+  s.honest = make_crash_one();
+  s.crashes.add_at_time(4, GetParam());
+  const auto report = expect_ok(s, "timed crash");
+  EXPECT_LE(report.query_complexity, bounds::crash_one_q(s.cfg));
+}
+
+INSTANTIATE_TEST_SUITE_P(Times, CrashOneTiming,
+                         ::testing::Values(0.0, 0.4, 0.9, 1.1, 1.6, 2.4, 5.0,
+                                           12.0));
+
+// Scheduling-adversary sweep.
+class CrashOneScheduling : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrashOneScheduling, CorrectUnderAdversarialLatency) {
+  Scenario s;
+  s.cfg = one_crash_cfg(1024, 8, 5);
+  s.honest = make_crash_one();
+  s.crashes.add_at_time(6, 0.7);
+  switch (GetParam()) {
+    case 0: s.latency = fixed_latency(1.0); break;
+    case 1: s.latency = uniform_latency(0.01, 1.0); break;
+    case 2: s.latency = seniority_latency(); break;
+    case 3: s.latency = sender_delay_latency({0, 1}, 1.0, 0.02); break;
+  }
+  expect_ok(s, "scheduling adversary");
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, CrashOneScheduling,
+                         ::testing::Values(0, 1, 2, 3));
+
+// Seed sweep with a random adversary.
+class CrashOneRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrashOneRandomized, CorrectAcrossSeeds) {
+  Scenario s;
+  s.cfg = one_crash_cfg(1536, 12, GetParam());
+  s.honest = make_crash_one();
+  Rng rng(GetParam() * 41 + 3);
+  s.crashes = adv::CrashPlan::random(s.cfg, rng, 1, 4.0);
+  const auto report = expect_ok(s, "random adversary");
+  EXPECT_LE(report.query_complexity, bounds::crash_one_q(s.cfg));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashOneRandomized,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace asyncdr::proto

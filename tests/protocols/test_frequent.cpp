@@ -1,0 +1,82 @@
+#include "protocols/frequent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace asyncdr::proto {
+namespace {
+
+TEST(StringBank, CountsDistinctSupporters) {
+  StringBank bank(2);
+  const BitVec a = BitVec::from_string("101");
+  const BitVec b = BitVec::from_string("111");
+  EXPECT_TRUE(bank.record(0, 1, a));
+  EXPECT_TRUE(bank.record(0, 2, a));
+  EXPECT_TRUE(bank.record(0, 3, b));
+  EXPECT_EQ(bank.votes(0), 3u);
+  EXPECT_EQ(bank.distinct(0), 2u);
+  EXPECT_EQ(bank.support(0, a), 2u);
+  EXPECT_EQ(bank.support(0, b), 1u);
+  EXPECT_EQ(bank.support(0, BitVec::from_string("000")), 0u);
+  EXPECT_EQ(bank.votes(1), 0u);
+}
+
+TEST(StringBank, OneVotePerPeerPerSegment) {
+  StringBank bank(1);
+  const BitVec a = BitVec::from_string("0");
+  const BitVec b = BitVec::from_string("1");
+  EXPECT_TRUE(bank.record(0, 7, a));
+  // Re-votes (even with a different value) are ignored — vote stacking by a
+  // single Byzantine peer is impossible.
+  EXPECT_FALSE(bank.record(0, 7, b));
+  EXPECT_FALSE(bank.record(0, 7, a));
+  EXPECT_EQ(bank.votes(0), 1u);
+  EXPECT_EQ(bank.support(0, a), 1u);
+  EXPECT_EQ(bank.support(0, b), 0u);
+}
+
+TEST(StringBank, FrequentThreshold) {
+  StringBank bank(1);
+  const BitVec a = BitVec::from_string("00");
+  const BitVec b = BitVec::from_string("01");
+  for (sim::PeerId p = 0; p < 5; ++p) bank.record(0, p, a);
+  for (sim::PeerId p = 5; p < 7; ++p) bank.record(0, p, b);
+
+  EXPECT_EQ(bank.frequent(0, 6).size(), 0u);
+  const auto at5 = bank.frequent(0, 5);
+  ASSERT_EQ(at5.size(), 1u);
+  EXPECT_EQ(at5[0], a);
+  EXPECT_EQ(bank.frequent(0, 2).size(), 2u);
+  EXPECT_EQ(bank.frequent(0, 1).size(), 2u);
+}
+
+TEST(StringBank, FrequentOrderIsDeterministic) {
+  StringBank bank(1);
+  bank.record(0, 0, BitVec::from_string("10"));
+  bank.record(0, 1, BitVec::from_string("01"));
+  const auto f = bank.frequent(0, 1);
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].to_string(), "01");
+  EXPECT_EQ(f[1].to_string(), "10");
+}
+
+TEST(StringBank, SegmentsIndependent) {
+  StringBank bank(3);
+  bank.record(0, 1, BitVec::from_string("1"));
+  bank.record(2, 1, BitVec::from_string("0"));
+  EXPECT_EQ(bank.votes(0), 1u);
+  EXPECT_EQ(bank.votes(1), 0u);
+  EXPECT_EQ(bank.votes(2), 1u);
+}
+
+TEST(StringBank, BoundsChecked) {
+  StringBank bank(2);
+  EXPECT_THROW(bank.record(2, 0, BitVec(1)), contract_violation);
+  EXPECT_THROW(bank.votes(5), contract_violation);
+  EXPECT_THROW(bank.frequent(0, 0), contract_violation);
+  EXPECT_THROW(StringBank(0), contract_violation);
+}
+
+}  // namespace
+}  // namespace asyncdr::proto

@@ -1,0 +1,111 @@
+#include "protocols/lowerbound.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "harness.hpp"
+#include "protocols/bounds.hpp"
+
+namespace asyncdr::proto {
+namespace {
+
+using testing::cfg;
+
+TEST(DeterministicAttack, BreaksSubNQueryProtocolAtBetaHalf) {
+  // Theorem 3.1: Algorithm 2 is a correct crash protocol with Q << n; under
+  // a Byzantine majority the two-world adversary must defeat it.
+  const auto c = cfg(1024, 8, 0.5, 3);
+  const auto result = run_deterministic_majority_attack(c, make_crash_multi());
+  EXPECT_TRUE(result.attackable) << result.detail;
+  EXPECT_TRUE(result.succeeded) << result.detail;
+  EXPECT_LT(result.victim_probe_queries, c.n);
+}
+
+TEST(DeterministicAttack, SweepOverSeedsAndSizes) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto c = cfg(512, 6, 0.5, seed);
+    const auto result =
+        run_deterministic_majority_attack(c, make_crash_multi());
+    EXPECT_TRUE(result.attackable) << "seed " << seed;
+    EXPECT_TRUE(result.succeeded) << "seed " << seed << ": " << result.detail;
+  }
+}
+
+TEST(DeterministicAttack, NaiveProtocolIsNotAttackable) {
+  // Q = n is exactly the Theorem 3.1 bound: no unqueried bit exists.
+  const auto c = cfg(256, 6, 0.5, 2);
+  const auto result = run_deterministic_majority_attack(c, make_naive());
+  EXPECT_FALSE(result.attackable);
+  EXPECT_FALSE(result.succeeded);
+  EXPECT_EQ(result.victim_probe_queries, c.n);
+}
+
+TEST(DeterministicAttack, RequiresMajorityHeadroom) {
+  const auto c = cfg(256, 9, 0.25, 2);  // t = 2 < (k-1)/2
+  EXPECT_THROW(run_deterministic_majority_attack(c, make_crash_multi()),
+               contract_violation);
+}
+
+TEST(DeterministicAttack, HigherBetaAlsoWorks) {
+  const auto c = cfg(512, 8, 0.75, 4);
+  const auto result = run_deterministic_majority_attack(c, make_crash_multi());
+  EXPECT_TRUE(result.attackable);
+  EXPECT_TRUE(result.succeeded) << result.detail;
+}
+
+TEST(RandomizedAttack, SuccessRateMeetsTheoremFloor) {
+  // Theorem 3.2: a randomized protocol whose peers query q bits fails with
+  // probability >= ~1 - q/n. Force the 2-cycle protocol into the majority
+  // regime with optimistic parameters (k = 24 so the corrupted coalition
+  // reliably covers both segments).
+  const auto c = cfg(1024, 24, 0.5, 7);
+  RandParams params;
+  params.segments = 2;
+  params.tau = 1;
+  params.eta = 4;  // fiction the optimistic protocol believes
+  const auto stats =
+      run_randomized_majority_attack(c, make_two_cycle_with(params), 24);
+  EXPECT_EQ(stats.trials, 24u);
+  EXPECT_LT(stats.mean_victim_queries, static_cast<double>(c.n));
+  // Mean q ~ n/2 => floor ~ 1/2. Allow simulation slack.
+  EXPECT_GE(stats.success_rate(), stats.predicted_floor(c.n) - 0.25);
+  EXPECT_GE(stats.success_rate(), 0.25);
+}
+
+TEST(RandomizedAttack, CheaperProtocolFailsMoreOften) {
+  const auto c = cfg(1024, 24, 0.5, 11);
+  RandParams cheap;
+  cheap.segments = 8;
+  cheap.tau = 1;
+  cheap.eta = 4;
+  RandParams expensive;
+  expensive.segments = 2;
+  expensive.tau = 1;
+  expensive.eta = 4;
+  const auto cheap_stats =
+      run_randomized_majority_attack(c, make_two_cycle_with(cheap), 24);
+  const auto expensive_stats =
+      run_randomized_majority_attack(c, make_two_cycle_with(expensive), 24);
+  // More queries -> more chance the planted bit is covered -> fewer wins.
+  EXPECT_LT(cheap_stats.mean_victim_queries,
+            expensive_stats.mean_victim_queries);
+  EXPECT_GE(cheap_stats.success_rate() + 0.15,
+            expensive_stats.success_rate());
+}
+
+TEST(RandomizedAttack, PredictedFloorFormula) {
+  RandAttackStats stats;
+  stats.mean_victim_queries = 256;
+  EXPECT_DOUBLE_EQ(stats.predicted_floor(1024), 0.75);
+  stats.mean_victim_queries = 2048;
+  EXPECT_DOUBLE_EQ(stats.predicted_floor(1024), 0.0);
+}
+
+TEST(Bounds, MajorityAttackSuccessLb) {
+  EXPECT_DOUBLE_EQ(bounds::majority_attack_success_lb(256, 1024), 0.75);
+  EXPECT_DOUBLE_EQ(bounds::majority_attack_success_lb(1024, 1024), 0.0);
+  EXPECT_DOUBLE_EQ(bounds::majority_attack_success_lb(2000, 1024), 0.0);
+}
+
+}  // namespace
+}  // namespace asyncdr::proto

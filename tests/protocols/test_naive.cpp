@@ -1,0 +1,50 @@
+#include "protocols/naive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+
+namespace asyncdr::proto {
+namespace {
+
+using testing::cfg;
+using testing::expect_ok;
+
+TEST(Naive, CorrectWithQueryComplexityN) {
+  Scenario s;
+  s.cfg = cfg(512, 4, 0.0);
+  s.honest = make_naive();
+  const auto report = expect_ok(s, "naive");
+  EXPECT_EQ(report.query_complexity, 512u);
+  EXPECT_EQ(report.message_complexity, 0u);
+}
+
+TEST(Naive, ImmuneToAnyCrashPattern) {
+  Scenario s;
+  s.cfg = cfg(256, 8, 0.8);
+  s.honest = make_naive();
+  s.crashes = adv::CrashPlan::silent_prefix(6);
+  expect_ok(s, "naive under crashes");
+}
+
+TEST(Naive, ImmuneToByzantineMajority) {
+  Scenario s;
+  s.cfg = cfg(256, 8, 0.8);
+  s.honest = make_naive();
+  s.byzantine = make_garbage_byz();
+  s.byz_ids = {0, 1, 2, 3, 4, 5};
+  const auto report = expect_ok(s, "naive under byz majority");
+  EXPECT_EQ(report.query_complexity, 256u);
+}
+
+TEST(Naive, TerminatesAtOwnStartTime) {
+  Scenario s;
+  s.cfg = cfg(64, 4, 0.0);
+  s.honest = make_naive();
+  s.start_times[2] = 3.5;
+  const auto report = expect_ok(s);
+  EXPECT_DOUBLE_EQ(report.time_complexity, 3.5);
+}
+
+}  // namespace
+}  // namespace asyncdr::proto

@@ -1,0 +1,97 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace asyncdr::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZeroIdle) {
+  Engine e;
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+  EXPECT_TRUE(e.idle());
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, FiresInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, TieBrokenByInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine e;
+  double fired_at = -1;
+  e.schedule_at(2.0, [&] {
+    e.schedule_in(0.5, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+}
+
+TEST(Engine, NestedSchedulingAtSameTime) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(1.0, [&] {
+    order.push_back(0);
+    e.schedule_in(0.0, [&] { order.push_back(2); });
+  });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Engine, PastSchedulingThrows) {
+  Engine e;
+  e.schedule_at(5.0, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(4.0, [] {}), contract_violation);
+  EXPECT_THROW(e.schedule_in(-1.0, [] {}), contract_violation);
+  EXPECT_THROW(e.schedule_at(6.0, nullptr), contract_violation);
+}
+
+TEST(Engine, BudgetStopsRunawayExecution) {
+  Engine e;
+  std::function<void()> loop = [&] { e.schedule_in(1.0, loop); };
+  e.schedule_at(0.0, loop);
+  const auto result = e.run(100);
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_EQ(result.events_processed, 100u);
+  EXPECT_FALSE(e.idle());
+}
+
+TEST(Engine, RunReportsEventCount) {
+  Engine e;
+  for (int i = 0; i < 7; ++i) e.schedule_at(i, [] {});
+  const auto result = e.run();
+  EXPECT_EQ(result.events_processed, 7u);
+  EXPECT_FALSE(result.budget_exhausted);
+}
+
+TEST(Engine, PendingCount) {
+  Engine e;
+  e.schedule_at(1.0, [] {});
+  e.schedule_at(2.0, [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.step();
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace asyncdr::sim

@@ -1,0 +1,164 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "sim/engine.hpp"
+
+namespace asyncdr::sim {
+namespace {
+
+struct TestPayload final : Payload {
+  explicit TestPayload(std::size_t bits = 8, int tag = 0)
+      : bits_(bits), tag_(tag) {}
+  std::size_t size_bits() const override { return bits_; }
+  std::string type_name() const override { return "TestPayload"; }
+  std::size_t bits_;
+  int tag_;
+};
+
+struct Recorder final : Receiver {
+  void deliver(const Message& msg) override { received.push_back(msg); }
+  std::vector<Message> received;
+};
+
+struct Fixture : ::testing::Test {
+  Fixture() : net(engine, 4, 64) {
+    for (PeerId i = 0; i < 4; ++i) net.attach(i, &peers[i]);
+  }
+  Engine engine;
+  Network net;
+  Recorder peers[4];
+};
+
+TEST_F(Fixture, DeliversWithDefaultUnitLatency) {
+  net.send(0, 1, std::make_shared<TestPayload>());
+  engine.run();
+  ASSERT_EQ(peers[1].received.size(), 1u);
+  EXPECT_EQ(peers[1].received[0].from, 0u);
+  EXPECT_DOUBLE_EQ(engine.now(), 1.0);
+}
+
+TEST_F(Fixture, BroadcastSkipsSelfAndOrdersByID) {
+  net.broadcast(2, std::make_shared<TestPayload>());
+  engine.run();
+  EXPECT_EQ(peers[0].received.size(), 1u);
+  EXPECT_EQ(peers[1].received.size(), 1u);
+  EXPECT_TRUE(peers[2].received.empty());
+  EXPECT_EQ(peers[3].received.size(), 1u);
+}
+
+TEST_F(Fixture, CrashedSenderSendsNothing) {
+  net.crash(0);
+  net.send(0, 1, std::make_shared<TestPayload>());
+  engine.run();
+  EXPECT_TRUE(peers[1].received.empty());
+  EXPECT_EQ(net.sent_units(0), 0u);
+}
+
+TEST_F(Fixture, CrashedReceiverDropsInFlight) {
+  net.send(0, 1, std::make_shared<TestPayload>());
+  engine.schedule_at(0.5, [&] { net.crash(1); });
+  engine.run();
+  EXPECT_TRUE(peers[1].received.empty());
+  // The send itself still counts (it was made by a live peer).
+  EXPECT_EQ(net.sent_units(0), 1u);
+}
+
+TEST_F(Fixture, MessagesSentBeforeCrashStillDeliver) {
+  net.send(0, 1, std::make_shared<TestPayload>());
+  engine.schedule_at(0.5, [&] { net.crash(0); });
+  engine.run();
+  EXPECT_EQ(peers[1].received.size(), 1u);
+}
+
+TEST_F(Fixture, PreSendHookCanCrashMidBroadcast) {
+  int allowed = 2;
+  net.set_pre_send_hook([&](const Message& msg) {
+    if (msg.from == 0 && allowed-- == 0) net.crash(0);
+  });
+  net.broadcast(0, std::make_shared<TestPayload>());
+  engine.run();
+  // Only the first two sends (to peers 1 and 2) went out.
+  EXPECT_EQ(peers[1].received.size(), 1u);
+  EXPECT_EQ(peers[2].received.size(), 1u);
+  EXPECT_TRUE(peers[3].received.empty());
+}
+
+TEST_F(Fixture, UnitMessageAccounting) {
+  EXPECT_EQ(net.unit_messages(TestPayload(1)), 1u);
+  EXPECT_EQ(net.unit_messages(TestPayload(64)), 1u);
+  EXPECT_EQ(net.unit_messages(TestPayload(65)), 2u);
+  EXPECT_EQ(net.unit_messages(TestPayload(640)), 10u);
+  EXPECT_EQ(net.unit_messages(TestPayload(0)), 1u);  // floor of 1
+}
+
+TEST_F(Fixture, LargePayloadSerializesOnLink) {
+  // 10 units on one link: transmission inflates arrival beyond latency 1.
+  net.send(0, 1, std::make_shared<TestPayload>(640));
+  engine.run();
+  ASSERT_EQ(peers[1].received.size(), 1u);
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);  // 9 units of transmission + 1 latency
+  EXPECT_EQ(net.sent_units(0), 10u);
+}
+
+TEST_F(Fixture, BackToBackUnitMessagesQueuePerLink) {
+  net.send(0, 1, std::make_shared<TestPayload>());
+  net.send(0, 1, std::make_shared<TestPayload>());
+  net.send(0, 2, std::make_shared<TestPayload>());  // different link: parallel
+  engine.run();
+  ASSERT_EQ(peers[1].received.size(), 2u);
+  EXPECT_DOUBLE_EQ(peers[1].received[1].sent_at, 0.0);
+  // Second message on the 0->1 link departs at t=1, arrives t=2.
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+  EXPECT_EQ(peers[2].received.size(), 1u);
+}
+
+TEST_F(Fixture, ObserverSeesSendsDeliveriesDrops) {
+  struct Obs final : NetworkObserver {
+    void on_send(const Message&, std::size_t units) override { sends += units; }
+    void on_deliver(const Message&) override { ++delivers; }
+    void on_drop(const Message&) override { ++drops; }
+    std::size_t sends = 0, delivers = 0, drops = 0;
+  } obs;
+  net.set_observer(&obs);
+  net.send(0, 1, std::make_shared<TestPayload>());
+  net.send(0, 2, std::make_shared<TestPayload>());
+  engine.schedule_at(0.5, [&] { net.crash(2); });
+  engine.run();
+  EXPECT_EQ(obs.sends, 2u);
+  EXPECT_EQ(obs.delivers, 1u);
+  EXPECT_EQ(obs.drops, 1u);
+}
+
+TEST_F(Fixture, CustomLatencyPolicyApplied) {
+  net.set_latency_policy(std::make_unique<FixedLatency>(0.25));
+  net.send(0, 1, std::make_shared<TestPayload>());
+  engine.run();
+  EXPECT_DOUBLE_EQ(engine.now(), 0.25);
+}
+
+TEST_F(Fixture, CrashedCount) {
+  EXPECT_EQ(net.crashed_count(), 0u);
+  net.crash(1);
+  net.crash(3);
+  EXPECT_EQ(net.crashed_count(), 2u);
+  EXPECT_TRUE(net.is_crashed(1));
+  EXPECT_FALSE(net.is_crashed(0));
+}
+
+TEST(NetworkInvalid, RejectsBadConstruction) {
+  Engine e;
+  EXPECT_THROW(Network(e, 1, 64), contract_violation);
+  EXPECT_THROW(Network(e, 4, 0), contract_violation);
+}
+
+TEST(NetworkInvalid, FixedLatencyRange) {
+  EXPECT_THROW(FixedLatency(0.0), contract_violation);
+  EXPECT_THROW(FixedLatency(1.5), contract_violation);
+}
+
+}  // namespace
+}  // namespace asyncdr::sim

@@ -1,0 +1,144 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "protocols/runner.hpp"
+
+namespace asyncdr {
+namespace {
+
+using sim::TraceEvent;
+
+struct Ping final : sim::Payload {
+  std::size_t size_bits() const override { return 16; }
+  std::string type_name() const override { return "Ping"; }
+};
+
+TEST(Trace, RecordsNetworkLifecycle) {
+  sim::Engine engine;
+  sim::Network net(engine, 3, 64);
+  sim::Trace trace(engine);
+  net.set_observer(&trace);
+  struct Sink final : sim::Receiver {
+    void deliver(const sim::Message&) override {}
+  } sink;
+  for (sim::PeerId i = 0; i < 3; ++i) net.attach(i, &sink);
+
+  net.send(0, 1, std::make_shared<Ping>());
+  net.send(0, 2, std::make_shared<Ping>());
+  engine.schedule_at(0.5, [&] { net.crash(2); });
+  engine.run();
+
+  EXPECT_EQ(trace.count(TraceEvent::Kind::kSend), 2u);
+  EXPECT_EQ(trace.count(TraceEvent::Kind::kDeliver), 1u);
+  EXPECT_EQ(trace.count(TraceEvent::Kind::kDrop), 1u);
+
+  const auto sends = trace.filter(
+      [](const TraceEvent& ev) { return ev.kind == TraceEvent::Kind::kSend; });
+  ASSERT_EQ(sends.size(), 2u);
+  EXPECT_EQ(sends[0].from, 0u);
+  EXPECT_EQ(sends[0].to, 1u);
+  EXPECT_EQ(sends[0].payload_type, "Ping");
+}
+
+TEST(Trace, DeliveryTimestampUsesEngineClock) {
+  sim::Engine engine;
+  sim::Network net(engine, 2, 64);
+  sim::Trace trace(engine);
+  net.set_observer(&trace);
+  struct Sink final : sim::Receiver {
+    void deliver(const sim::Message&) override {}
+  } sink;
+  net.attach(0, &sink);
+  net.attach(1, &sink);
+  net.set_latency_policy(std::make_unique<sim::FixedLatency>(0.75));
+  net.send(0, 1, std::make_shared<Ping>());
+  engine.run();
+  const auto delivers = trace.filter([](const TraceEvent& ev) {
+    return ev.kind == TraceEvent::Kind::kDeliver;
+  });
+  ASSERT_EQ(delivers.size(), 1u);
+  EXPECT_DOUBLE_EQ(delivers[0].at, 0.75);
+}
+
+TEST(Trace, CapacityOverflowCounts) {
+  sim::Engine engine;
+  sim::Trace trace(engine, 2);
+  trace.record_crash(0.0, 1);
+  trace.record_crash(0.1, 2);
+  trace.record_crash(0.2, 3);
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.dropped_events(), 1u);
+  EXPECT_NE(trace.render().find("not recorded"), std::string::npos);
+}
+
+TEST(Trace, QueryCoalescing) {
+  sim::Engine engine;
+  sim::Trace trace(engine);
+  trace.record_query(0.0, 5, 10);
+  trace.record_query(0.0, 5, 20);   // same peer, same instant: coalesced
+  trace.record_query(0.0, 6, 1);    // different peer
+  trace.record_query(1.0, 5, 2);    // later instant
+  EXPECT_EQ(trace.count(TraceEvent::Kind::kQuery), 3u);
+  EXPECT_EQ(trace.events()[0].detail_a, 30u);
+}
+
+TEST(Trace, RenderFiltersByPeer) {
+  sim::Engine engine;
+  sim::Trace trace(engine);
+  trace.record_terminate(1.0, 3);
+  trace.record_terminate(2.0, 4);
+  const std::string only3 = trace.render(3);
+  EXPECT_NE(only3.find("p3"), std::string::npos);
+  EXPECT_EQ(only3.find("p4"), std::string::npos);
+}
+
+TEST(Trace, FullProtocolRunProducesCoherentTimeline) {
+  dr::Config cfg{.n = 1024, .k = 6, .beta = 0.34, .message_bits = 256,
+                 .seed = 3};
+  dr::World world(cfg, proto::random_input(cfg.n, cfg.seed));
+  sim::Trace& trace = world.enable_trace();
+  for (sim::PeerId id = 0; id < cfg.k; ++id) {
+    world.set_peer(id, std::make_unique<proto::CrashMultiPeer>());
+  }
+  world.schedule_crash_at(5, 0.4);
+  world.schedule_crash_at(2, 1.2);
+  const auto report = world.run();
+  ASSERT_TRUE(report.ok()) << report.to_string();
+
+  EXPECT_EQ(trace.count(TraceEvent::Kind::kCrash), 2u);
+  // All 4 nonfaulty peers terminate; a victim may have finished pre-crash.
+  EXPECT_GE(trace.count(TraceEvent::Kind::kTerminate), 4u);
+  EXPECT_LE(trace.count(TraceEvent::Kind::kTerminate), 6u);
+  EXPECT_GT(trace.count(TraceEvent::Kind::kQuery), 0u);
+  EXPECT_GT(trace.count(TraceEvent::Kind::kSend), 0u);
+  // Timestamps are non-decreasing for deliveries.
+  sim::Time last = 0;
+  for (const TraceEvent& ev : trace.events()) {
+    if (ev.kind != TraceEvent::Kind::kDeliver) continue;
+    EXPECT_GE(ev.at, last);
+    last = ev.at;
+  }
+  // Queried bits in the trace reconcile with the report's accounting.
+  std::uint64_t traced_bits = 0;
+  for (const TraceEvent& ev : trace.events()) {
+    if (ev.kind == TraceEvent::Kind::kQuery) traced_bits += ev.detail_a;
+  }
+  std::uint64_t reported = 0;
+  for (std::size_t q : report.per_peer_queries) reported += q;
+  EXPECT_EQ(traced_bits, reported);
+}
+
+TEST(Trace, EnableAfterRunRejected) {
+  dr::Config cfg{.n = 32, .k = 2, .beta = 0.0, .message_bits = 64, .seed = 1};
+  dr::World world(cfg, BitVec(32));
+  for (sim::PeerId id = 0; id < 2; ++id) {
+    world.set_peer(id, std::make_unique<proto::NaivePeer>());
+  }
+  (void)world.run();
+  EXPECT_THROW(world.enable_trace(), contract_violation);
+}
+
+}  // namespace
+}  // namespace asyncdr

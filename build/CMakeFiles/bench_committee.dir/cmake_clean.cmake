@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_committee.dir/bench/bench_committee.cpp.o"
+  "CMakeFiles/bench_committee.dir/bench/bench_committee.cpp.o.d"
+  "bench/bench_committee"
+  "bench/bench_committee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_committee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crash.dir/bench/bench_crash.cpp.o"
+  "CMakeFiles/bench_crash.dir/bench/bench_crash.cpp.o.d"
+  "bench/bench_crash"
+  "bench/bench_crash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

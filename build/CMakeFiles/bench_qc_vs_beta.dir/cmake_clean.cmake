@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qc_vs_beta.dir/bench/bench_qc_vs_beta.cpp.o"
+  "CMakeFiles/bench_qc_vs_beta.dir/bench/bench_qc_vs_beta.cpp.o.d"
+  "bench/bench_qc_vs_beta"
+  "bench/bench_qc_vs_beta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qc_vs_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

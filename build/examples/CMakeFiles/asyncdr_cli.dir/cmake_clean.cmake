@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncdr_cli.dir/asyncdr_cli.cpp.o"
+  "CMakeFiles/asyncdr_cli.dir/asyncdr_cli.cpp.o.d"
+  "asyncdr_cli"
+  "asyncdr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncdr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byzantine_storm.dir/byzantine_storm.cpp.o"
+  "CMakeFiles/byzantine_storm.dir/byzantine_storm.cpp.o.d"
+  "byzantine_storm"
+  "byzantine_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byzantine_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_demo.dir/oracle_demo.cpp.o"
+  "CMakeFiles/oracle_demo.dir/oracle_demo.cpp.o.d"
+  "oracle_demo"
+  "oracle_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adversary/crash_plan.cpp" "src/adversary/CMakeFiles/asyncdr_adversary.dir/crash_plan.cpp.o" "gcc" "src/adversary/CMakeFiles/asyncdr_adversary.dir/crash_plan.cpp.o.d"
+  "/root/repo/src/adversary/latency.cpp" "src/adversary/CMakeFiles/asyncdr_adversary.dir/latency.cpp.o" "gcc" "src/adversary/CMakeFiles/asyncdr_adversary.dir/latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dr/CMakeFiles/asyncdr_dr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asyncdr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/asyncdr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncdr_adversary.dir/crash_plan.cpp.o"
+  "CMakeFiles/asyncdr_adversary.dir/crash_plan.cpp.o.d"
+  "CMakeFiles/asyncdr_adversary.dir/latency.cpp.o"
+  "CMakeFiles/asyncdr_adversary.dir/latency.cpp.o.d"
+  "libasyncdr_adversary.a"
+  "libasyncdr_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncdr_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

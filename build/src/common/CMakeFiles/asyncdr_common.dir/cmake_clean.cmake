@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncdr_common.dir/bitvec.cpp.o"
+  "CMakeFiles/asyncdr_common.dir/bitvec.cpp.o.d"
+  "CMakeFiles/asyncdr_common.dir/interval_set.cpp.o"
+  "CMakeFiles/asyncdr_common.dir/interval_set.cpp.o.d"
+  "CMakeFiles/asyncdr_common.dir/rng.cpp.o"
+  "CMakeFiles/asyncdr_common.dir/rng.cpp.o.d"
+  "CMakeFiles/asyncdr_common.dir/stats.cpp.o"
+  "CMakeFiles/asyncdr_common.dir/stats.cpp.o.d"
+  "CMakeFiles/asyncdr_common.dir/table.cpp.o"
+  "CMakeFiles/asyncdr_common.dir/table.cpp.o.d"
+  "libasyncdr_common.a"
+  "libasyncdr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncdr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

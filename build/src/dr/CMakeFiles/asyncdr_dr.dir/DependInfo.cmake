@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dr/config.cpp" "src/dr/CMakeFiles/asyncdr_dr.dir/config.cpp.o" "gcc" "src/dr/CMakeFiles/asyncdr_dr.dir/config.cpp.o.d"
+  "/root/repo/src/dr/peer.cpp" "src/dr/CMakeFiles/asyncdr_dr.dir/peer.cpp.o" "gcc" "src/dr/CMakeFiles/asyncdr_dr.dir/peer.cpp.o.d"
+  "/root/repo/src/dr/source.cpp" "src/dr/CMakeFiles/asyncdr_dr.dir/source.cpp.o" "gcc" "src/dr/CMakeFiles/asyncdr_dr.dir/source.cpp.o.d"
+  "/root/repo/src/dr/world.cpp" "src/dr/CMakeFiles/asyncdr_dr.dir/world.cpp.o" "gcc" "src/dr/CMakeFiles/asyncdr_dr.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/asyncdr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/asyncdr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncdr_dr.dir/config.cpp.o"
+  "CMakeFiles/asyncdr_dr.dir/config.cpp.o.d"
+  "CMakeFiles/asyncdr_dr.dir/peer.cpp.o"
+  "CMakeFiles/asyncdr_dr.dir/peer.cpp.o.d"
+  "CMakeFiles/asyncdr_dr.dir/source.cpp.o"
+  "CMakeFiles/asyncdr_dr.dir/source.cpp.o.d"
+  "CMakeFiles/asyncdr_dr.dir/world.cpp.o"
+  "CMakeFiles/asyncdr_dr.dir/world.cpp.o.d"
+  "libasyncdr_dr.a"
+  "libasyncdr_dr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncdr_dr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libasyncdr_dr.a"
+)

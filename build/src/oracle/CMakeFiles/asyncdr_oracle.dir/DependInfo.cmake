@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oracle/dynamic.cpp" "src/oracle/CMakeFiles/asyncdr_oracle.dir/dynamic.cpp.o" "gcc" "src/oracle/CMakeFiles/asyncdr_oracle.dir/dynamic.cpp.o.d"
+  "/root/repo/src/oracle/odc.cpp" "src/oracle/CMakeFiles/asyncdr_oracle.dir/odc.cpp.o" "gcc" "src/oracle/CMakeFiles/asyncdr_oracle.dir/odc.cpp.o.d"
+  "/root/repo/src/oracle/source_bank.cpp" "src/oracle/CMakeFiles/asyncdr_oracle.dir/source_bank.cpp.o" "gcc" "src/oracle/CMakeFiles/asyncdr_oracle.dir/source_bank.cpp.o.d"
+  "/root/repo/src/oracle/value_source.cpp" "src/oracle/CMakeFiles/asyncdr_oracle.dir/value_source.cpp.o" "gcc" "src/oracle/CMakeFiles/asyncdr_oracle.dir/value_source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocols/CMakeFiles/asyncdr_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/dr/CMakeFiles/asyncdr_dr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/asyncdr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/asyncdr_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asyncdr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

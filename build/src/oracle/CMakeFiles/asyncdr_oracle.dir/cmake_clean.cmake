@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncdr_oracle.dir/dynamic.cpp.o"
+  "CMakeFiles/asyncdr_oracle.dir/dynamic.cpp.o.d"
+  "CMakeFiles/asyncdr_oracle.dir/odc.cpp.o"
+  "CMakeFiles/asyncdr_oracle.dir/odc.cpp.o.d"
+  "CMakeFiles/asyncdr_oracle.dir/source_bank.cpp.o"
+  "CMakeFiles/asyncdr_oracle.dir/source_bank.cpp.o.d"
+  "CMakeFiles/asyncdr_oracle.dir/value_source.cpp.o"
+  "CMakeFiles/asyncdr_oracle.dir/value_source.cpp.o.d"
+  "libasyncdr_oracle.a"
+  "libasyncdr_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncdr_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

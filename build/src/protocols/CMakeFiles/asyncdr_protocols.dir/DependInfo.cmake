@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/attacks.cpp" "src/protocols/CMakeFiles/asyncdr_protocols.dir/attacks.cpp.o" "gcc" "src/protocols/CMakeFiles/asyncdr_protocols.dir/attacks.cpp.o.d"
+  "/root/repo/src/protocols/attacks2.cpp" "src/protocols/CMakeFiles/asyncdr_protocols.dir/attacks2.cpp.o" "gcc" "src/protocols/CMakeFiles/asyncdr_protocols.dir/attacks2.cpp.o.d"
+  "/root/repo/src/protocols/bounds.cpp" "src/protocols/CMakeFiles/asyncdr_protocols.dir/bounds.cpp.o" "gcc" "src/protocols/CMakeFiles/asyncdr_protocols.dir/bounds.cpp.o.d"
+  "/root/repo/src/protocols/byz2cycle.cpp" "src/protocols/CMakeFiles/asyncdr_protocols.dir/byz2cycle.cpp.o" "gcc" "src/protocols/CMakeFiles/asyncdr_protocols.dir/byz2cycle.cpp.o.d"
+  "/root/repo/src/protocols/byzmulti.cpp" "src/protocols/CMakeFiles/asyncdr_protocols.dir/byzmulti.cpp.o" "gcc" "src/protocols/CMakeFiles/asyncdr_protocols.dir/byzmulti.cpp.o.d"
+  "/root/repo/src/protocols/chunk.cpp" "src/protocols/CMakeFiles/asyncdr_protocols.dir/chunk.cpp.o" "gcc" "src/protocols/CMakeFiles/asyncdr_protocols.dir/chunk.cpp.o.d"
+  "/root/repo/src/protocols/committee.cpp" "src/protocols/CMakeFiles/asyncdr_protocols.dir/committee.cpp.o" "gcc" "src/protocols/CMakeFiles/asyncdr_protocols.dir/committee.cpp.o.d"
+  "/root/repo/src/protocols/crash_multi.cpp" "src/protocols/CMakeFiles/asyncdr_protocols.dir/crash_multi.cpp.o" "gcc" "src/protocols/CMakeFiles/asyncdr_protocols.dir/crash_multi.cpp.o.d"
+  "/root/repo/src/protocols/crash_one.cpp" "src/protocols/CMakeFiles/asyncdr_protocols.dir/crash_one.cpp.o" "gcc" "src/protocols/CMakeFiles/asyncdr_protocols.dir/crash_one.cpp.o.d"
+  "/root/repo/src/protocols/decision_tree.cpp" "src/protocols/CMakeFiles/asyncdr_protocols.dir/decision_tree.cpp.o" "gcc" "src/protocols/CMakeFiles/asyncdr_protocols.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/protocols/frequent.cpp" "src/protocols/CMakeFiles/asyncdr_protocols.dir/frequent.cpp.o" "gcc" "src/protocols/CMakeFiles/asyncdr_protocols.dir/frequent.cpp.o.d"
+  "/root/repo/src/protocols/lowerbound.cpp" "src/protocols/CMakeFiles/asyncdr_protocols.dir/lowerbound.cpp.o" "gcc" "src/protocols/CMakeFiles/asyncdr_protocols.dir/lowerbound.cpp.o.d"
+  "/root/repo/src/protocols/naive.cpp" "src/protocols/CMakeFiles/asyncdr_protocols.dir/naive.cpp.o" "gcc" "src/protocols/CMakeFiles/asyncdr_protocols.dir/naive.cpp.o.d"
+  "/root/repo/src/protocols/params.cpp" "src/protocols/CMakeFiles/asyncdr_protocols.dir/params.cpp.o" "gcc" "src/protocols/CMakeFiles/asyncdr_protocols.dir/params.cpp.o.d"
+  "/root/repo/src/protocols/runner.cpp" "src/protocols/CMakeFiles/asyncdr_protocols.dir/runner.cpp.o" "gcc" "src/protocols/CMakeFiles/asyncdr_protocols.dir/runner.cpp.o.d"
+  "/root/repo/src/protocols/segments.cpp" "src/protocols/CMakeFiles/asyncdr_protocols.dir/segments.cpp.o" "gcc" "src/protocols/CMakeFiles/asyncdr_protocols.dir/segments.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dr/CMakeFiles/asyncdr_dr.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/asyncdr_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asyncdr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/asyncdr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

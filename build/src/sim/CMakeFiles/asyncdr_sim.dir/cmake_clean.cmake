@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncdr_sim.dir/engine.cpp.o"
+  "CMakeFiles/asyncdr_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/asyncdr_sim.dir/message.cpp.o"
+  "CMakeFiles/asyncdr_sim.dir/message.cpp.o.d"
+  "CMakeFiles/asyncdr_sim.dir/network.cpp.o"
+  "CMakeFiles/asyncdr_sim.dir/network.cpp.o.d"
+  "CMakeFiles/asyncdr_sim.dir/trace.cpp.o"
+  "CMakeFiles/asyncdr_sim.dir/trace.cpp.o.d"
+  "libasyncdr_sim.a"
+  "libasyncdr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncdr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

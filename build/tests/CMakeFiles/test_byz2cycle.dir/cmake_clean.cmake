@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_byz2cycle.dir/protocols/test_byz2cycle.cpp.o"
+  "CMakeFiles/test_byz2cycle.dir/protocols/test_byz2cycle.cpp.o.d"
+  "test_byz2cycle"
+  "test_byz2cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_byz2cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_byzmulti.dir/protocols/test_byzmulti.cpp.o"
+  "CMakeFiles/test_byzmulti.dir/protocols/test_byzmulti.cpp.o.d"
+  "test_byzmulti"
+  "test_byzmulti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_byzmulti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

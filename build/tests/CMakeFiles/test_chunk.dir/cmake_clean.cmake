@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chunk.dir/protocols/test_chunk.cpp.o"
+  "CMakeFiles/test_chunk.dir/protocols/test_chunk.cpp.o.d"
+  "test_chunk"
+  "test_chunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_committee.dir/protocols/test_committee.cpp.o"
+  "CMakeFiles/test_committee.dir/protocols/test_committee.cpp.o.d"
+  "test_committee"
+  "test_committee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_committee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crash_multi.dir/protocols/test_crash_multi.cpp.o"
+  "CMakeFiles/test_crash_multi.dir/protocols/test_crash_multi.cpp.o.d"
+  "test_crash_multi"
+  "test_crash_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crash_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crash_one.dir/protocols/test_crash_one.cpp.o"
+  "CMakeFiles/test_crash_one.dir/protocols/test_crash_one.cpp.o.d"
+  "test_crash_one"
+  "test_crash_one.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crash_one.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adversary/test_crash_plan.cpp" "tests/CMakeFiles/test_crash_plan.dir/adversary/test_crash_plan.cpp.o" "gcc" "tests/CMakeFiles/test_crash_plan.dir/adversary/test_crash_plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/oracle/CMakeFiles/asyncdr_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/asyncdr_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/asyncdr_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/dr/CMakeFiles/asyncdr_dr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asyncdr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/asyncdr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

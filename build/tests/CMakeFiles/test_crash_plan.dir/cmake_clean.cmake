@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crash_plan.dir/adversary/test_crash_plan.cpp.o"
+  "CMakeFiles/test_crash_plan.dir/adversary/test_crash_plan.cpp.o.d"
+  "test_crash_plan"
+  "test_crash_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crash_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frequent.dir/protocols/test_frequent.cpp.o"
+  "CMakeFiles/test_frequent.dir/protocols/test_frequent.cpp.o.d"
+  "test_frequent"
+  "test_frequent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frequent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

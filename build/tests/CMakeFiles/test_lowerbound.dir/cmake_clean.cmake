@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lowerbound.dir/protocols/test_lowerbound.cpp.o"
+  "CMakeFiles/test_lowerbound.dir/protocols/test_lowerbound.cpp.o.d"
+  "test_lowerbound"
+  "test_lowerbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

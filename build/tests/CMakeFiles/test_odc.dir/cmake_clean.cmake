@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_odc.dir/oracle/test_odc.cpp.o"
+  "CMakeFiles/test_odc.dir/oracle/test_odc.cpp.o.d"
+  "test_odc"
+  "test_odc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_odc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_source.dir/dr/test_source.cpp.o"
+  "CMakeFiles/test_source.dir/dr/test_source.cpp.o.d"
+  "test_source"
+  "test_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_source_bank.dir/oracle/test_source_bank.cpp.o"
+  "CMakeFiles/test_source_bank.dir/oracle/test_source_bank.cpp.o.d"
+  "test_source_bank"
+  "test_source_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_source_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_value_source.dir/oracle/test_value_source.cpp.o"
+  "CMakeFiles/test_value_source.dir/oracle/test_value_source.cpp.o.d"
+  "test_value_source"
+  "test_value_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_value_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

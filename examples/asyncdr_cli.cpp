@@ -13,6 +13,25 @@
 //   --latency   fixed | uniform | seniority
 //   --n --k --beta --B --seed --repeats --concentration
 //   --trace N   print the first N lines of the execution trace (rep 0)
+//
+// Chaos sweeps (see DESIGN.md, "Chaos layer"):
+//
+//   asyncdr_cli chaos --seeds 200
+//   asyncdr_cli chaos --protocols committee --seeds 50
+//               --inject-bug committee-threshold
+//
+//   --protocols  comma-separated registry names (default: the deterministic
+//                grid naive,crash_one,crash_multi,committee)
+//   --seeds --seed-base --threads --max-events
+//   --n-cap --k-cap --fault-cap --latency-spread   sampling caps (the knobs
+//                the shrinker tightens; a shrunk repro is replayed by
+//                pasting its emitted flags here)
+//   --beyond-model 1    add duplication/burst stressors (degradation mode)
+//   --inject-bug committee-threshold   arm the planted off-by-one
+//   --no-shrink 1       report failures without shrinking them
+//   --verbose 1         list every case, not just failures
+//
+// Exit status: 0 if the sweep had no violations, 1 otherwise.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +39,7 @@
 #include <map>
 #include <string>
 
+#include "chaos/runner.hpp"
 #include "common/table.hpp"
 #include "protocols/bounds.hpp"
 #include "protocols/runner.hpp"
@@ -52,9 +72,9 @@ struct Args {
   }
 };
 
-Args parse(int argc, char** argv) {
+Args parse(int argc, char** argv, int start = 1) {
   Args args;
-  for (int i = 1; i < argc; ++i) {
+  for (int i = start; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag.rfind("--", 0) != 0) usage(("unexpected argument: " + flag).c_str());
     if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
@@ -63,9 +83,54 @@ Args parse(int argc, char** argv) {
   return args;
 }
 
+int run_chaos(int argc, char** argv) {
+  const Args args = parse(argc, argv, 2);
+
+  chaos::SweepOptions options;
+  const std::string protocols = args.get("protocols", "");
+  for (std::size_t pos = 0; pos < protocols.size();) {
+    const std::size_t comma = protocols.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? protocols.size() : comma;
+    if (end > pos) options.protocols.push_back(protocols.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  options.seed_base = args.get_size("seed-base", options.seed_base);
+  options.seeds = args.get_size("seeds", options.seeds);
+  if (options.seeds == 0) usage("--seeds must be > 0");
+  options.threads = args.get_size("threads", 0);
+  options.max_events = args.get_size("max-events", options.max_events);
+  options.shrink = args.get_size("no-shrink", 0) == 0;
+
+  options.chaos.n_cap = args.get_size("n-cap", options.chaos.n_cap);
+  options.chaos.k_cap = args.get_size("k-cap", options.chaos.k_cap);
+  options.chaos.fault_cap = args.get_size("fault-cap", options.chaos.fault_cap);
+  options.chaos.latency_spread =
+      args.get_double("latency-spread", options.chaos.latency_spread);
+  options.chaos.beyond_model = args.get_size("beyond-model", 0) != 0;
+  const std::string bug = args.get("inject-bug", "");
+  if (bug == "committee-threshold") {
+    options.chaos.inject_committee_bug = true;
+  } else if (!bug.empty()) {
+    usage(("unknown --inject-bug: " + bug).c_str());
+  }
+
+  for (const std::string& name : options.protocols) {
+    if (chaos::find_protocol(name) == nullptr) {
+      usage(("unknown chaos protocol: " + name).c_str());
+    }
+  }
+
+  const chaos::SweepReport report = chaos::ChaosRunner(options).run();
+  std::printf("%s", report.to_string(args.get_size("verbose", 0) != 0).c_str());
+  return report.failures.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "chaos") == 0) {
+    return run_chaos(argc, argv);
+  }
   const Args args = parse(argc, argv);
 
   dr::Config cfg;

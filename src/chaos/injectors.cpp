@@ -1,0 +1,314 @@
+#include "chaos/injectors.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "adversary/latency.hpp"
+#include "chaos/stressors.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "protocols/bounds.hpp"
+
+namespace asyncdr::chaos {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Fixed-precision, locale-independent float rendering so descriptions and
+/// repro lines are byte-identical across runs and platforms.
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::size_t clamp_size(std::size_t v, std::size_t lo, std::size_t hi) {
+  return std::max(lo, std::min(v, hi));
+}
+
+proto::PeerFactory attack_factory(const std::string& kind) {
+  if (kind == "silent") return proto::make_silent_byz();
+  if (kind == "garbage") return proto::make_garbage_byz();
+  if (kind == "liar_flip") {
+    return proto::make_committee_liar(proto::CommitteeLiarPeer::Mode::kFlipAll);
+  }
+  if (kind == "liar_random") {
+    return proto::make_committee_liar(proto::CommitteeLiarPeer::Mode::kRandom);
+  }
+  if (kind == "liar_equiv") {
+    return proto::make_committee_liar(
+        proto::CommitteeLiarPeer::Mode::kEquivocate);
+  }
+  if (kind == "vote_stuff") return proto::make_vote_stuffer();
+  if (kind == "equivocate") return proto::make_equivocator();
+  if (kind == "comb_stuff") return proto::make_comb_stuffer();
+  if (kind == "quorum_rush") return proto::make_quorum_rusher();
+  ASYNCDR_EXPECTS_MSG(false, "unknown attack kind: " + kind);
+  return {};
+}
+
+}  // namespace
+
+std::string ChaosOptions::to_flags() const {
+  std::ostringstream os;
+  os << "--n-cap " << n_cap << " --k-cap " << k_cap;
+  if (fault_cap != std::numeric_limits<std::size_t>::max()) {
+    os << " --fault-cap " << fault_cap;
+  }
+  os << " --latency-spread " << fmt(latency_spread);
+  if (beyond_model) os << " --beyond-model 1";
+  if (inject_committee_bug) os << " --inject-bug committee-threshold";
+  return os.str();
+}
+
+const std::vector<ProtocolProfile>& protocol_registry() {
+  static const std::vector<ProtocolProfile> registry = [] {
+    std::vector<ProtocolProfile> r;
+
+    ProtocolProfile naive;
+    naive.name = "naive";
+    naive.honest = [](const ChaosOptions&) { return proto::make_naive(); };
+    naive.q_bound = proto::bounds::naive_q;
+    naive.beta_min = 0.0;
+    naive.beta_max = 0.95;
+    naive.byzantine = true;
+    naive.attack_pool = {"silent", "garbage"};
+    r.push_back(std::move(naive));
+
+    ProtocolProfile crash_one;
+    crash_one.name = "crash_one";
+    crash_one.honest = [](const ChaosOptions&) {
+      return proto::make_crash_one();
+    };
+    crash_one.q_bound = proto::bounds::crash_one_q;
+    crash_one.single_crash = true;
+    r.push_back(std::move(crash_one));
+
+    ProtocolProfile crash_multi;
+    crash_multi.name = "crash_multi";
+    crash_multi.honest = [](const ChaosOptions&) {
+      return proto::make_crash_multi();
+    };
+    crash_multi.q_bound = proto::bounds::crash_multi_q;
+    crash_multi.beta_min = 0.0;
+    crash_multi.beta_max = 0.85;
+    r.push_back(std::move(crash_multi));
+
+    ProtocolProfile committee;
+    committee.name = "committee";
+    committee.honest = [](const ChaosOptions& options) {
+      return proto::make_committee(
+          {.buggy_vote_threshold = options.inject_committee_bug});
+    };
+    committee.q_bound = proto::bounds::committee_q;
+    committee.m_bound = proto::bounds::committee_m;
+    committee.t_bound = proto::bounds::committee_t;
+    committee.beta_min = 0.05;
+    committee.beta_max = 0.49;
+    committee.byzantine = true;
+    committee.attack_pool = {"silent", "garbage", "liar_flip", "liar_random",
+                             "liar_equiv"};
+    r.push_back(std::move(committee));
+
+    ProtocolProfile two_cycle;
+    two_cycle.name = "two_cycle";
+    two_cycle.honest = [](const ChaosOptions&) {
+      return proto::make_two_cycle();
+    };
+    two_cycle.q_bound = [](const dr::Config& cfg) {
+      return proto::bounds::two_cycle_q(cfg, proto::RandParams::derive(cfg));
+    };
+    two_cycle.beta_min = 0.05;
+    two_cycle.beta_max = 0.49;
+    two_cycle.byzantine = true;
+    two_cycle.whp = true;
+    two_cycle.attack_pool = {"silent", "garbage", "vote_stuff", "equivocate",
+                             "quorum_rush"};
+    r.push_back(std::move(two_cycle));
+
+    ProtocolProfile multi_cycle;
+    multi_cycle.name = "multi_cycle";
+    multi_cycle.honest = [](const ChaosOptions&) {
+      return proto::make_multi_cycle();
+    };
+    multi_cycle.q_bound = [](const dr::Config& cfg) {
+      return proto::bounds::multi_cycle_q(cfg, proto::RandParams::derive(cfg));
+    };
+    multi_cycle.beta_min = 0.05;
+    multi_cycle.beta_max = 0.49;
+    multi_cycle.byzantine = true;
+    multi_cycle.whp = true;
+    multi_cycle.attack_pool = {"silent",     "garbage",   "vote_stuff",
+                               "equivocate", "comb_stuff", "quorum_rush"};
+    r.push_back(std::move(multi_cycle));
+
+    return r;
+  }();
+  return registry;
+}
+
+const ProtocolProfile* find_protocol(const std::string& name) {
+  for (const ProtocolProfile& p : protocol_registry()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+ChaosCase sample_case(const ProtocolProfile& profile, std::uint64_t seed,
+                      const ChaosOptions& options) {
+  Rng rng = Rng(seed * 0x9e3779b97f4a7c15ull + 0xc4a05eedull)
+                .split(fnv1a(profile.name));
+
+  ChaosCase out;
+  dr::Config& cfg = out.cfg;
+  cfg.n = clamp_size(256u << rng.below(5), 16, options.n_cap);
+  cfg.k = clamp_size(6 + 2 * rng.below(10), 3, options.k_cap);
+  cfg.message_bits = 64u << rng.below(5);
+  cfg.seed = seed;
+  if (profile.single_crash) {
+    cfg.beta = 1.0 / static_cast<double>(cfg.k);
+  } else {
+    cfg.beta = rng.uniform(profile.beta_min, profile.beta_max);
+  }
+
+  proto::Scenario& s = out.scenario;
+  s.cfg = cfg;
+  s.honest = profile.honest(options);
+
+  std::ostringstream desc;
+  desc << profile.name << " n=" << cfg.n << " k=" << cfg.k
+       << " beta=" << fmt(cfg.beta) << " B=" << cfg.message_bits
+       << " seed=" << seed;
+
+  // ---- Fault composition: coalition size, then per-victim flavour. ----
+  const std::size_t t = cfg.max_faulty();
+  std::size_t faults = t > 0 ? 1 + rng.below(t) : 0;
+  faults = std::min(faults, options.fault_cap);
+  out.faults = faults;
+
+  if (faults > 0) {
+    std::vector<std::size_t> victims =
+        rng.sample_without_replacement(cfg.k, faults);
+    std::sort(victims.begin(), victims.end());
+
+    std::map<sim::PeerId, std::string> byz_kinds;
+    std::ostringstream crash_desc;
+    for (const std::size_t victim : victims) {
+      const bool go_byzantine =
+          profile.byzantine && !profile.attack_pool.empty() && rng.flip(0.6);
+      if (go_byzantine) {
+        byz_kinds[victim] =
+            profile.attack_pool[rng.below(profile.attack_pool.size())];
+      } else if (rng.flip(0.4)) {
+        // Mid-broadcast death: the victim gets an exact number of sends out.
+        const std::uint64_t sends = rng.below(2 * cfg.k);
+        s.crashes.add_after_sends(victim, sends);
+        crash_desc << " p" << victim << "@sends=" << sends;
+      } else {
+        const sim::Time at = rng.uniform(0.0, 8.0);
+        s.crashes.add_at_time(victim, at);
+        crash_desc << " p" << victim << "@t=" << fmt(at);
+      }
+    }
+    if (!byz_kinds.empty()) {
+      std::map<sim::PeerId, proto::PeerFactory> factories;
+      desc << " | byz{";
+      bool first = true;
+      for (const auto& [id, kind] : byz_kinds) {
+        factories[id] = attack_factory(kind);
+        s.byz_ids.push_back(id);
+        if (!first) desc << ' ';
+        first = false;
+        desc << 'p' << id << ':' << kind;
+      }
+      desc << '}';
+      s.byzantine = [factories](const dr::Config& c, sim::PeerId id) {
+        return factories.at(id)(c, id);
+      };
+    }
+    if (s.crashes.size() > 0) desc << " | crash{" << crash_desc.str() << " }";
+  }
+
+  // ---- Scheduling adversary, scaled by the latency-spread knob. ----
+  const double spread = std::clamp(options.latency_spread, 0.0, 1.0);
+  switch (rng.below(4)) {
+    case 0: {
+      s.latency = proto::fixed_latency(1.0);
+      desc << " | latency=fixed(1)";
+      break;
+    }
+    case 1: {
+      const sim::Time lo = 1.0 - 0.95 * spread;
+      s.latency = proto::uniform_latency(lo, 1.0);
+      desc << " | latency=uniform[" << fmt(lo) << ",1]";
+      break;
+    }
+    case 2: {
+      const sim::Time lo = 1.0 - 0.9 * spread;
+      s.latency = [lo](const dr::Config& c) {
+        return std::make_unique<adv::SeniorityLatency>(c.k, lo, 1.0);
+      };
+      desc << " | latency=seniority[" << fmt(lo) << ",1]";
+      break;
+    }
+    default: {
+      std::vector<sim::PeerId> slow;
+      for (sim::PeerId id = 0; id < cfg.k; ++id) {
+        if (rng.flip(0.3)) slow.push_back(id);
+      }
+      const sim::Time fast = 1.0 - 0.99 * spread;
+      s.latency = proto::sender_delay_latency(slow, 1.0, fast);
+      desc << " | latency=sender_delay(" << slow.size()
+           << " slow, fast=" << fmt(fast) << ")";
+      break;
+    }
+  }
+
+  // ---- Adversarial start-time skew (also under the spread knob). ----
+  out.timing_faithful = true;
+  const double skew_max = 4.0 * spread;
+  if (skew_max > 0) {
+    for (sim::PeerId id = 0; id < cfg.k; ++id) {
+      if (rng.flip(0.25)) {
+        s.start_times[id] = rng.uniform(0.0, skew_max);
+      }
+    }
+    if (!s.start_times.empty()) {
+      out.timing_faithful = false;
+      desc << " | skew{" << s.start_times.size() << " peers, max<"
+           << fmt(skew_max) << "}";
+    }
+  }
+
+  // ---- Beyond-model stressors (opt-in). ----
+  if (options.beyond_model) {
+    ChaosStressor::Knobs knobs;
+    knobs.duplicate_prob = rng.uniform(0.1, 0.5);
+    knobs.burst_prob = rng.uniform(0.0, 0.3);
+    knobs.hold_max = rng.uniform(1.0, 4.0);
+    s.stressor = make_chaos_stressor(knobs);
+    out.beyond_model = true;
+    out.timing_faithful = false;
+    desc << " | stress{dup=" << fmt(knobs.duplicate_prob)
+         << " burst=" << fmt(knobs.burst_prob)
+         << " hold=" << fmt(knobs.hold_max) << "}";
+  }
+
+  if (profile.q_bound) out.q_bound = profile.q_bound(cfg);
+  if (profile.m_bound) out.m_bound = profile.m_bound(cfg);
+  if (profile.t_bound) out.t_bound = profile.t_bound(cfg);
+  out.description = desc.str();
+  return out;
+}
+
+}  // namespace asyncdr::chaos

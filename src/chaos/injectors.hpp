@@ -1,0 +1,97 @@
+// Adversary-composition sampling: turn one (protocol, seed, caps) triple
+// into a complete proto::Scenario — model shape, crash schedule (including
+// mid-broadcast crash_after_sends), Byzantine coalition with a per-peer
+// attack mix, scheduling adversary, start-time skew, and (opt-in)
+// beyond-model stressors. Sampling is a pure function of its inputs, so a
+// failing case is reproduced by its (protocol, seed, options) alone — that
+// triple IS the repro line, and the shrinker minimizes it by tightening the
+// caps in `ChaosOptions` while the failure persists.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "dr/config.hpp"
+#include "protocols/runner.hpp"
+
+namespace asyncdr::chaos {
+
+/// Caps and toggles that parameterize case sampling. The shrinker only ever
+/// tightens these, so every shrink step stays inside the original sweep's
+/// sample space.
+struct ChaosOptions {
+  std::size_t n_cap = 4096;  ///< input length is clamped to [16, n_cap]
+  std::size_t k_cap = 24;    ///< peer count is clamped to [3, k_cap]
+  /// Cap on the number of faulty peers (on top of the model's t = beta*k).
+  std::size_t fault_cap = std::numeric_limits<std::size_t>::max();
+  /// Schedule adversarialness in [0, 1]: scales latency randomness (0 =
+  /// every policy collapses to the fixed max-latency schedule) and the
+  /// start-time skew the adversary may impose.
+  double latency_spread = 1.0;
+  /// Enable beyond-model stressors (duplication, burst holds). Cases then
+  /// measure graceful degradation instead of in-model correctness.
+  bool beyond_model = false;
+  /// Arm the committee protocol's injected vote-threshold off-by-one
+  /// (CommitteePeer::Options::buggy_vote_threshold) — the planted bug chaos
+  /// sweeps are validated against.
+  bool inject_committee_bug = false;
+
+  /// Renders the options as CLI flags (part of the one-line repro).
+  std::string to_flags() const;
+};
+
+/// Static description of one protocol the chaos grid can sweep: how to
+/// build it, which fault flavours are in-model for it, the beta regime it
+/// supports, and the closed-form bounds to check measured complexities
+/// against (null = unchecked).
+struct ProtocolProfile {
+  std::string name;
+  std::function<proto::PeerFactory(const ChaosOptions&)> honest;
+  std::function<std::size_t(const dr::Config&)> q_bound;
+  std::function<std::size_t(const dr::Config&)> m_bound;
+  std::function<double(const dr::Config&)> t_bound;
+  double beta_min = 0.0;
+  double beta_max = 0.95;
+  /// Byzantine coalitions are in-model (else the sampler only crashes).
+  bool byzantine = false;
+  /// Protocol tolerates exactly one crash (beta pinned to 1/k).
+  bool single_crash = false;
+  /// Guarantees are with-high-probability; rare failures are genuine
+  /// low-probability events, not necessarily bugs.
+  bool whp = false;
+  /// Byzantine attack kinds the sampler may draw for this protocol (names
+  /// understood by the sampler; empty unless `byzantine`).
+  std::vector<std::string> attack_pool;
+};
+
+/// The sweepable protocols: naive, crash_one, crash_multi, committee (the
+/// deterministic default grid), plus two_cycle and multi_cycle (whp).
+const std::vector<ProtocolProfile>& protocol_registry();
+
+/// Looks a profile up by name; nullptr if unknown.
+const ProtocolProfile* find_protocol(const std::string& name);
+
+/// One fully sampled case.
+struct ChaosCase {
+  dr::Config cfg;
+  proto::Scenario scenario;
+  std::string description;  ///< composed adversary, deterministic text
+  std::size_t q_bound = 0;  ///< 0 = unchecked
+  std::size_t m_bound = 0;  ///< 0 = unchecked
+  double t_bound = 0;       ///< 0 = unchecked
+  /// True iff the sampled schedule keeps the asynchronous-time
+  /// normalization (no start skew, no beyond-model holds), so the T bound
+  /// is meaningful.
+  bool timing_faithful = false;
+  std::size_t faults = 0;   ///< sampled faulty-peer count
+  bool beyond_model = false;
+};
+
+/// Samples the case for (profile, seed, options). Deterministic.
+ChaosCase sample_case(const ProtocolProfile& profile, std::uint64_t seed,
+                      const ChaosOptions& options);
+
+}  // namespace asyncdr::chaos

@@ -1,0 +1,316 @@
+#include "chaos/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace asyncdr::chaos {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string join_ids(const std::vector<sim::PeerId>& ids, std::size_t cap = 8) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < ids.size() && i < cap; ++i) {
+    if (i > 0) os << ',';
+    os << ids[i];
+  }
+  if (ids.size() > cap) os << ",... (" << ids.size() << " total)";
+  return os.str();
+}
+
+/// Classifies a finished run against the Download predicate and the
+/// profile's closed-form bounds. Empty = pass. At most one violation is
+/// reported, most fundamental first (a stalled run's Q is meaningless).
+std::string classify(const ProtocolProfile& profile, const ChaosCase& cs,
+                     const dr::RunReport& report) {
+  std::ostringstream os;
+  if (report.budget_exhausted) {
+    os << "stalled: event budget exhausted after " << report.events
+       << " events";
+  } else if (!report.all_terminated) {
+    os << "download predicate violated: " << report.unterminated_peers.size()
+       << " nonfaulty peer(s) never terminated (peers "
+       << join_ids(report.unterminated_peers) << ")";
+  } else if (!report.all_correct) {
+    os << "download predicate violated: " << report.incorrect_peers.size()
+       << " nonfaulty peer(s) output a wrong array (peers "
+       << join_ids(report.incorrect_peers) << ")";
+  } else if (cs.q_bound > 0 && report.query_complexity > cs.q_bound) {
+    os << "Q " << report.query_complexity << " > bound " << cs.q_bound;
+  } else if (cs.m_bound > 0 && report.message_complexity > cs.m_bound) {
+    os << "M " << report.message_complexity << " > bound " << cs.m_bound;
+  } else if (cs.t_bound > 0 && cs.timing_faithful &&
+             report.time_complexity > cs.t_bound + 1e-9) {
+    os << "T " << fmt(report.time_complexity) << " > bound "
+       << fmt(cs.t_bound);
+  } else {
+    return {};
+  }
+  if (profile.whp) {
+    os << " [whp guarantee: may be a rare legitimate failure]";
+  }
+  return os.str();
+}
+
+std::string repro_command(const std::string& protocol, std::uint64_t seed,
+                          const ChaosOptions& options) {
+  std::ostringstream os;
+  os << "asyncdr_cli chaos --protocols " << protocol << " --seed-base " << seed
+     << " --seeds 1 --no-shrink 1 " << options.to_flags();
+  return os.str();
+}
+
+}  // namespace
+
+ChaosRunner::ChaosRunner(SweepOptions options) : options_(std::move(options)) {
+  ASYNCDR_EXPECTS_MSG(options_.seeds > 0, "SweepOptions::seeds must be > 0");
+  ASYNCDR_EXPECTS_MSG(options_.max_events > 0,
+                      "SweepOptions::max_events must be > 0");
+}
+
+std::vector<std::string> ChaosRunner::default_protocols() {
+  return {"naive", "crash_one", "crash_multi", "committee"};
+}
+
+CaseResult ChaosRunner::run_case(const ProtocolProfile& profile,
+                                 std::uint64_t seed,
+                                 const ChaosOptions& options,
+                                 std::size_t max_events) {
+  ChaosCase cs = sample_case(profile, seed, options);
+  cs.scenario.max_events = max_events;
+
+  CaseResult out;
+  out.protocol = profile.name;
+  out.seed = seed;
+  out.description = cs.description;
+  out.report = proto::run_scenario(cs.scenario);
+
+  const std::string violation = classify(profile, cs, out.report);
+  if (violation.empty()) return out;
+  if (cs.beyond_model) {
+    // Outside the paper's model the guarantees don't apply; the failure is
+    // recorded as graceful-degradation data, not a correctness violation.
+    out.degraded = true;
+  } else {
+    out.violation = violation;
+  }
+  return out;
+}
+
+ShrunkRepro ChaosRunner::shrink_failure(const ProtocolProfile& profile,
+                                        std::uint64_t seed,
+                                        ChaosOptions options,
+                                        std::size_t max_events) {
+  ShrunkRepro out;
+  out.protocol = profile.name;
+  out.seed = seed;
+
+  // Sampling only reads the caps through clamps, so tightening a cap to the
+  // currently sampled value is a free first shrink step: it cannot change
+  // the case, and it gives each dimension a tight starting point.
+  {
+    const ChaosCase cs = sample_case(profile, seed, options);
+    options.n_cap = std::min(options.n_cap, cs.cfg.n);
+    options.k_cap = std::min(options.k_cap, cs.cfg.k);
+    if (cs.faults > 0) options.fault_cap = std::min(options.fault_cap, cs.faults);
+  }
+
+  // A candidate counts as still-failing if it produces ANY violation — the
+  // classic shrinking rule: chase the smallest failure, not this failure.
+  const auto still_fails = [&](const ChaosOptions& candidate,
+                               std::string* violation) {
+    ++out.shrink_runs;
+    const CaseResult r = run_case(profile, seed, candidate, max_events);
+    if (r.violation.empty()) return false;
+    *violation = r.violation;
+    return true;
+  };
+
+  std::string violation;
+  ASYNCDR_EXPECTS_MSG(still_fails(options, &violation),
+                      "shrink_failure called on a case that does not fail");
+
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+
+    // Input length: halve toward the 16-bit floor.
+    while (options.n_cap > 16) {
+      ChaosOptions candidate = options;
+      candidate.n_cap = std::max<std::size_t>(16, candidate.n_cap / 2);
+      if (!still_fails(candidate, &violation)) break;
+      options = candidate;
+      progressed = true;
+    }
+
+    // Peer count: halve, then single steps, toward the 3-peer floor.
+    while (options.k_cap > 3) {
+      ChaosOptions candidate = options;
+      candidate.k_cap = std::max<std::size_t>(3, candidate.k_cap / 2);
+      if (still_fails(candidate, &violation)) {
+        options = candidate;
+        progressed = true;
+        continue;
+      }
+      candidate = options;
+      candidate.k_cap -= 1;
+      if (!still_fails(candidate, &violation)) break;
+      options = candidate;
+      progressed = true;
+    }
+
+    // Fault count: one victim at a time.
+    while (options.fault_cap > 1 &&
+           options.fault_cap != std::numeric_limits<std::size_t>::max()) {
+      ChaosOptions candidate = options;
+      candidate.fault_cap -= 1;
+      if (!still_fails(candidate, &violation)) break;
+      options = candidate;
+      progressed = true;
+    }
+
+    // Latency spread: halve, then snap to the fully synchronous schedule.
+    while (options.latency_spread > 0) {
+      ChaosOptions candidate = options;
+      candidate.latency_spread =
+          candidate.latency_spread < 0.05 ? 0.0 : candidate.latency_spread / 2;
+      if (!still_fails(candidate, &violation)) break;
+      options = candidate;
+      progressed = true;
+    }
+  }
+
+  out.options = options;
+  out.violation = violation;
+  out.cfg = sample_case(profile, seed, options).cfg;
+  out.command_line = repro_command(profile.name, seed, options);
+  return out;
+}
+
+SweepReport ChaosRunner::run() const {
+  std::vector<std::string> names = options_.protocols;
+  if (names.empty()) names = default_protocols();
+  std::vector<const ProtocolProfile*> profiles;
+  profiles.reserve(names.size());
+  for (const std::string& name : names) {
+    const ProtocolProfile* p = find_protocol(name);
+    ASYNCDR_EXPECTS_MSG(p != nullptr, "unknown chaos protocol: " + name);
+    profiles.push_back(p);
+  }
+
+  const std::size_t seeds = options_.seeds;
+  const std::size_t total = profiles.size() * seeds;
+  std::vector<CaseResult> results(total);
+
+  // Fan the protocol-major grid across a thread pool. Each case builds its
+  // own dr::World, so workers share nothing but the atomic cursor; results
+  // land at their grid index, making the report order (and bytes)
+  // independent of scheduling.
+  std::size_t threads = options_.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, total);
+
+  std::atomic<std::size_t> cursor{0};
+  const auto worker = [&] {
+    for (std::size_t i = cursor.fetch_add(1); i < total;
+         i = cursor.fetch_add(1)) {
+      const ProtocolProfile& profile = *profiles[i / seeds];
+      const std::uint64_t seed = options_.seed_base + (i % seeds);
+      results[i] =
+          run_case(profile, seed, options_.chaos, options_.max_events);
+    }
+  };
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  SweepReport report;
+  report.cases = total;
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    std::size_t passed = 0;
+    std::size_t failed = 0;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      CaseResult& r = results[p * seeds + s];
+      if (!r.violation.empty()) {
+        ++failed;
+        report.failures.push_back(r);
+      } else {
+        ++passed;
+        if (r.degraded) ++report.degraded;
+      }
+    }
+    report.passed += passed;
+    report.per_protocol.emplace_back(profiles[p]->name,
+                                     std::pair{passed, failed});
+  }
+
+  // Shrinking runs serially, in grid order: it is rare (failures only) and
+  // determinism matters more than latency here.
+  if (options_.shrink) {
+    for (const CaseResult& failure : report.failures) {
+      report.repros.push_back(shrink_failure(*find_protocol(failure.protocol),
+                                             failure.seed, options_.chaos,
+                                             options_.max_events));
+    }
+  }
+  report.cases_detail = std::move(results);
+  return report;
+}
+
+std::string SweepReport::to_string(bool verbose) const {
+  std::ostringstream os;
+  os << "chaos sweep: " << cases << " cases, " << passed << " passed, "
+     << failures.size() << " failed";
+  if (degraded > 0) {
+    os << " (" << degraded << " beyond-model case(s) degraded gracefully)";
+  }
+  os << '\n';
+  for (const auto& [name, counts] : per_protocol) {
+    os << "  " << name << ": " << counts.first << " passed, " << counts.second
+       << " failed\n";
+  }
+  if (verbose) {
+    for (const CaseResult& r : cases_detail) {
+      os << "  "
+         << (r.violation.empty() ? (r.degraded ? "DEGRADED" : "ok") : "FAIL")
+         << "  " << r.description << '\n';
+    }
+  }
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    const CaseResult& f = failures[i];
+    os << "failure " << (i + 1) << ": " << f.protocol << " seed=" << f.seed
+       << "\n  " << f.violation << "\n  case: " << f.description << '\n';
+    if (!f.report.stall.empty()) {
+      std::istringstream stall(f.report.stall);
+      for (std::string line; std::getline(stall, line);) {
+        os << "  | " << line << '\n';
+      }
+    }
+    if (i < repros.size()) {
+      const ShrunkRepro& r = repros[i];
+      os << "  shrunk (" << r.shrink_runs << " runs) to n=" << r.cfg.n
+         << " k=" << r.cfg.k << " beta=" << fmt(r.cfg.beta) << ": "
+         << r.violation << "\n  repro: " << r.command_line << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace asyncdr::chaos

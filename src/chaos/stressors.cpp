@@ -1,0 +1,34 @@
+#include "chaos/stressors.hpp"
+
+#include "common/check.hpp"
+
+namespace asyncdr::chaos {
+
+ChaosStressor::ChaosStressor(Rng rng, Knobs knobs)
+    : rng_(rng), knobs_(knobs) {
+  ASYNCDR_EXPECTS(knobs.duplicate_prob >= 0 && knobs.duplicate_prob <= 1);
+  ASYNCDR_EXPECTS(knobs.burst_prob >= 0 && knobs.burst_prob <= 1);
+  ASYNCDR_EXPECTS(knobs.hold_max >= 0);
+}
+
+std::size_t ChaosStressor::copies(const sim::Message&) {
+  return rng_.flip(knobs_.duplicate_prob) ? 2 : 1;
+}
+
+sim::Time ChaosStressor::extra_delay(const sim::Message&, std::size_t copy) {
+  if (copy == 0) {
+    return rng_.flip(knobs_.burst_prob) ? rng_.uniform(0.0, knobs_.hold_max)
+                                        : 0.0;
+  }
+  // Duplicate copies always trail the primary by a random hold.
+  return rng_.uniform(0.0, knobs_.hold_max);
+}
+
+proto::StressorFactory make_chaos_stressor(ChaosStressor::Knobs knobs) {
+  return [knobs](const dr::Config& cfg) {
+    return std::make_unique<ChaosStressor>(Rng(cfg.seed).split(0xc4a05ull),
+                                           knobs);
+  };
+}
+
+}  // namespace asyncdr::chaos

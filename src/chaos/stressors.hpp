@@ -1,0 +1,43 @@
+// Beyond-model network stressors. The DR model's adversary already owns
+// scheduling (any latency in (0,1]) and crashes; real deployments also see
+// duplicated deliveries (retransmit races) and messages held far past any
+// latency bound (route flaps, GC pauses). Protocol guarantees say nothing
+// about those, so the stressors here are explicit OPT-IN: a run with one
+// installed measures graceful degradation and is reported separately from
+// in-model correctness (see DESIGN.md, "In-model vs. beyond-model").
+#pragma once
+
+#include "common/rng.hpp"
+#include "protocols/runner.hpp"
+#include "sim/network.hpp"
+
+namespace asyncdr::chaos {
+
+/// Seeded composite stressor: with probability `duplicate_prob` a message is
+/// delivered twice (the duplicate trailing by up to `hold_max`), and with
+/// probability `burst_prob` the primary delivery itself is held back by up
+/// to `hold_max` — which may exceed the normalized latency bound of 1,
+/// reordering bursts across everything sent meanwhile.
+class ChaosStressor final : public sim::DeliveryStressor {
+ public:
+  struct Knobs {
+    double duplicate_prob = 0.0;
+    double burst_prob = 0.0;
+    sim::Time hold_max = 3.0;
+  };
+
+  ChaosStressor(Rng rng, Knobs knobs);
+
+  std::size_t copies(const sim::Message& msg) override;
+  sim::Time extra_delay(const sim::Message& msg, std::size_t copy) override;
+
+ private:
+  Rng rng_;
+  Knobs knobs_;
+};
+
+/// Scenario-level factory; the stressor's stream is split off the config
+/// seed so runs stay pure functions of (config, scenario).
+proto::StressorFactory make_chaos_stressor(ChaosStressor::Knobs knobs);
+
+}  // namespace asyncdr::chaos

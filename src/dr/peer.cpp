@@ -7,6 +7,10 @@ namespace asyncdr::dr {
 
 Peer::~Peer() = default;
 
+std::string Peer::status() const {
+  return terminated_ ? "terminated" : "running (no protocol status)";
+}
+
 std::size_t Peer::k() const { return world_->config().k; }
 std::size_t Peer::n() const { return world_->config().n; }
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "common/bitvec.hpp"
 #include "common/rng.hpp"
@@ -37,6 +38,11 @@ class Peer : public sim::Receiver {
 
   /// Invoked once at the peer's (adversary-chosen) start time.
   virtual void on_start() = 0;
+
+  /// One-line description of what the peer is doing / waiting on, for the
+  /// stall report a run emits when peers fail to terminate. Protocols
+  /// override this to expose their wait state (phase, pending quorums, ...).
+  virtual std::string status() const;
 
   /// sim::Receiver — routes to on_message unless terminated/crashed.
   void deliver(const sim::Message& msg) final;

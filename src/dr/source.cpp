@@ -15,27 +15,49 @@ const BitVec& Source::view_for(sim::PeerId by) const {
   return it == overlays_.end() ? data_ : it->second;
 }
 
+namespace {
+
+std::string oob_message(const char* what, std::size_t got, std::size_t n) {
+  return std::string("Source::") + what + ": index " + std::to_string(got) +
+         " out of bounds for the n=" + std::to_string(n) + "-bit array";
+}
+
+}  // namespace
+
 bool Source::query(sim::PeerId by, std::size_t index) {
-  ASYNCDR_EXPECTS(by < counts_.size());
-  ASYNCDR_EXPECTS(index < data_.size());
+  ASYNCDR_EXPECTS_MSG(by < counts_.size(),
+                      "Source::query: unknown peer id " + std::to_string(by));
+  ASYNCDR_EXPECTS_MSG(index < data_.size(),
+                      oob_message("query", index, data_.size()));
   account(by, index, index + 1);
   return view_for(by).get(index);
 }
 
 BitVec Source::query_range(sim::PeerId by, std::size_t lo, std::size_t len) {
-  ASYNCDR_EXPECTS(by < counts_.size());
-  ASYNCDR_EXPECTS(lo + len <= data_.size());
+  ASYNCDR_EXPECTS_MSG(by < counts_.size(),
+                      "Source::query_range: unknown peer id " +
+                          std::to_string(by));
+  // Overflow-safe form of lo + len <= n: `lo + len` can wrap for adversarial
+  // values, silently passing the naive check.
+  ASYNCDR_EXPECTS_MSG(
+      len <= data_.size() && lo <= data_.size() - len,
+      "Source::query_range: range [" + std::to_string(lo) + ", " +
+          std::to_string(lo) + "+" + std::to_string(len) +
+          ") exceeds the n=" + std::to_string(data_.size()) + "-bit array");
   account(by, lo, lo + len);
   return view_for(by).slice(lo, len);
 }
 
 BitVec Source::query_indices(sim::PeerId by,
                              const std::vector<std::size_t>& indices) {
-  ASYNCDR_EXPECTS(by < counts_.size());
+  ASYNCDR_EXPECTS_MSG(by < counts_.size(),
+                      "Source::query_indices: unknown peer id " +
+                          std::to_string(by));
   const BitVec& view = view_for(by);
   BitVec out(indices.size());
   for (std::size_t j = 0; j < indices.size(); ++j) {
-    ASYNCDR_EXPECTS(indices[j] < data_.size());
+    ASYNCDR_EXPECTS_MSG(indices[j] < data_.size(),
+                        oob_message("query_indices", indices[j], data_.size()));
     account(by, indices[j], indices[j] + 1);
     out.set(j, view.get(indices[j]));
   }

@@ -7,6 +7,41 @@
 
 namespace asyncdr::dr {
 
+std::string StallReport::to_string() const {
+  std::ostringstream os;
+  os << "StallReport{" << (budget_exhausted ? "event budget exhausted"
+                                            : "quiescent but incomplete")
+     << ", pending_events=" << pending_events
+     << ", crashed_peers=" << crashed_peers << "}\n";
+  if (stuck_peers.empty()) {
+    os << "  (no stuck peers: every nonfaulty peer terminated; the budget "
+          "cut off leftover in-flight traffic)\n";
+  }
+  for (const PeerState& p : stuck_peers) {
+    os << "  stuck peer " << p.id << ": ";
+    if (p.crashed) os << "CRASHED, ";
+    os << "last_send=";
+    if (p.last_send < 0) os << "never"; else os << p.last_send;
+    os << " last_delivery=";
+    if (p.last_delivery < 0) os << "never"; else os << p.last_delivery;
+    os << " bits_queried=" << p.bits_queried << " status=\"" << p.status
+       << '"';
+    if (!p.last_event.empty()) os << " last_event=" << p.last_event;
+    os << '\n';
+  }
+  constexpr std::size_t kMaxLinkLines = 16;
+  for (std::size_t i = 0; i < busy_links.size() && i < kMaxLinkLines; ++i) {
+    const LinkState& l = busy_links[i];
+    os << "  link p" << l.from << " -> p" << l.to << ": " << l.in_flight
+       << " in flight\n";
+  }
+  if (busy_links.size() > kMaxLinkLines) {
+    os << "  ... (" << (busy_links.size() - kMaxLinkLines)
+       << " more busy links)\n";
+  }
+  return os.str();
+}
+
 std::string RunReport::to_string() const {
   std::ostringstream os;
   os << "RunReport{ok=" << (ok() ? "yes" : "no")
@@ -161,7 +196,42 @@ RunReport World::run(std::size_t max_events) {
     report.message_complexity += net_.sent_units(id);
     report.payload_messages += net_.sent_payloads(id);
   }
+  if (report.budget_exhausted || !report.all_terminated) {
+    report.stall = build_stall_report(report.budget_exhausted).to_string();
+  }
   return report;
+}
+
+StallReport World::build_stall_report(bool budget_exhausted) const {
+  StallReport stall;
+  stall.budget_exhausted = budget_exhausted;
+  stall.pending_events = engine_.pending();
+  stall.crashed_peers = net_.crashed_count();
+  for (sim::PeerId id = 0; id < cfg_.k; ++id) {
+    if (faulty_[id] || peers_[id] == nullptr || peers_[id]->terminated()) {
+      continue;
+    }
+    StallReport::PeerState p;
+    p.id = id;
+    p.crashed = net_.is_crashed(id);
+    p.last_send = net_.last_send_at(id);
+    p.last_delivery = net_.last_delivery_at(id);
+    p.bits_queried = source_.bits_queried(id);
+    p.status = peers_[id]->status();
+    if (trace_) {
+      if (const sim::TraceEvent* ev = trace_->last_event_involving(id)) {
+        p.last_event = ev->to_string();
+      }
+    }
+    stall.stuck_peers.push_back(std::move(p));
+  }
+  for (sim::PeerId from = 0; from < cfg_.k; ++from) {
+    for (sim::PeerId to = 0; to < cfg_.k; ++to) {
+      const std::uint32_t inflight = net_.in_flight(from, to);
+      if (inflight > 0) stall.busy_links.push_back({from, to, inflight});
+    }
+  }
+  return stall;
 }
 
 Rng World::adversary_rng(std::uint64_t tag) const {

@@ -19,6 +19,35 @@
 
 namespace asyncdr::dr {
 
+/// Diagnostics emitted when a run stalls: the event budget was exhausted or
+/// nonfaulty peers were left unterminated at quiescence. Names the stuck
+/// peers, what each last did (and says it is waiting on, via
+/// Peer::status()), and which links still carried in-flight messages.
+struct StallReport {
+  struct PeerState {
+    sim::PeerId id = sim::kNoPeer;
+    bool crashed = false;
+    sim::Time last_send = -1;      ///< last accepted send; < 0 = never
+    sim::Time last_delivery = -1;  ///< last delivery to it; < 0 = never
+    std::uint64_t bits_queried = 0;
+    std::string status;      ///< Peer::status()
+    std::string last_event;  ///< last trace event, if tracing was on
+  };
+  struct LinkState {
+    sim::PeerId from = sim::kNoPeer;
+    sim::PeerId to = sim::kNoPeer;
+    std::uint32_t in_flight = 0;
+  };
+
+  bool budget_exhausted = false;
+  std::size_t pending_events = 0;        ///< events still queued at stop
+  std::vector<PeerState> stuck_peers;    ///< unterminated nonfaulty peers
+  std::vector<LinkState> busy_links;     ///< links with in-flight messages
+  std::size_t crashed_peers = 0;
+
+  std::string to_string() const;
+};
+
 /// Outcome of one execution.
 struct RunReport {
   bool all_terminated = false;   ///< every nonfaulty peer finished
@@ -41,6 +70,10 @@ struct RunReport {
   /// Per-peer outputs (empty BitVec for peers that did not terminate);
   /// consumers like the oracle aggregation read downloaded arrays here.
   std::vector<BitVec> outputs;
+
+  /// Rendered StallReport, filled iff the run stalled (budget exhausted or
+  /// unterminated nonfaulty peers); empty on clean runs.
+  std::string stall;
 
   std::string to_string() const;
 };
@@ -84,8 +117,13 @@ class World {
   /// The trace if enabled, else nullptr.
   sim::Trace* trace() { return trace_.get(); }
 
-  /// Runs to quiescence (or the event budget) and reports.
+  /// Runs to quiescence (or the event budget) and reports. If the run
+  /// stalls, the report's `stall` field carries the rendered StallReport.
   RunReport run(std::size_t max_events = sim::Engine::kDefaultEventBudget);
+
+  /// Builds the stall diagnostics for the current world state (normally
+  /// invoked by run() on a stalled outcome; exposed for tests and tools).
+  StallReport build_stall_report(bool budget_exhausted) const;
 
   /// Per-peer RNG stream used to bind peers; exposed so adversaries can
   /// derive their own independent streams from the same master seed.

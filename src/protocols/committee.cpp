@@ -1,6 +1,8 @@
 #include "dr/world.hpp"
 #include "protocols/committee.hpp"
 
+#include <sstream>
+
 #include "common/check.hpp"
 
 namespace asyncdr::proto {
@@ -88,8 +90,26 @@ void CommitteePeer::process_votes(sim::PeerId from,
     voted_[bit][pos] = true;
     const bool value = votes.values.get(j);
     const std::uint32_t count = value ? ++votes1_[bit] : ++votes0_[bit];
-    if (count >= assignment_->threshold()) decide(bit, value);
+    if (count >= accept_threshold()) decide(bit, value);
   }
+}
+
+std::size_t CommitteePeer::accept_threshold() const {
+  const std::size_t threshold = assignment_->threshold();
+  // The injected off-by-one: t votes suffice, so t colluding liars can
+  // decide a bit. Guarded so the bug cannot fire accidentally.
+  if (opts_.buggy_vote_threshold && threshold > 1) return threshold - 1;
+  return threshold;
+}
+
+std::string CommitteePeer::status() const {
+  if (terminated()) return "terminated";
+  if (!started_) return "not started";
+  std::ostringstream os;
+  os << "decided " << decided_count_ << "/" << n() << " bits, votes "
+     << (votes_sent_ ? "sent" : "NOT sent")
+     << "; waiting for committee votes on the undecided bits";
+  return os.str();
 }
 
 void CommitteePeer::decide(std::size_t bit, bool value) {

@@ -58,7 +58,19 @@ struct Votes final : sim::Payload {
 /// An honest peer of the committee protocol. Requires beta < 1/2.
 class CommitteePeer final : public dr::Peer {
  public:
+  struct Options {
+    /// FAULT INJECTION, never set outside tests/chaos sweeps: accept a bit
+    /// on t matching votes instead of t+1. The off-by-one lets a full
+    /// Byzantine coalition inside one committee outvote the honest members
+    /// — exactly the class of bug the chaos sweep must catch and shrink.
+    bool buggy_vote_threshold = false;
+  };
+
+  CommitteePeer() = default;
+  explicit CommitteePeer(Options opts) : opts_(opts) {}
+
   void on_start() override;
+  std::string status() const override;
 
  protected:
   void on_message(sim::PeerId from, const sim::Payload& payload) override;
@@ -68,7 +80,9 @@ class CommitteePeer final : public dr::Peer {
   void process_votes(sim::PeerId from, const committee::Votes& votes);
   void decide(std::size_t bit, bool value);
   void maybe_finish();
+  std::size_t accept_threshold() const;
 
+  Options opts_;
   std::unique_ptr<CommitteeAssignment> assignment_;
   BitVec out_;
   std::vector<bool> decided_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <mutex>
+#include <sstream>
 #include <tuple>
 
 #include "common/check.hpp"
@@ -33,10 +35,15 @@ sim::PeerId hashed_owner(std::size_t b, std::size_t r, std::size_t k) {
 
 const std::vector<BitVec>& owner_masks(std::size_t n, std::size_t k,
                                        std::size_t r) {
-  // The simulation is single-threaded; a plain static cache suffices.
+  // One world is single-threaded, but chaos sweeps fan independent worlds
+  // across a thread pool, so the shared cache takes a lock. Returned
+  // references stay valid under later insertions (node-based map) and the
+  // cached vectors are never mutated after construction.
+  static std::mutex cache_mutex;
   static std::map<std::tuple<std::size_t, std::size_t, std::size_t>,
                   std::vector<BitVec>>
       cache;
+  std::scoped_lock lock(cache_mutex);
   auto [it, inserted] = cache.try_emplace(std::tuple{n, k, r});
   if (inserted) {
     std::vector<BitVec> masks(k, BitVec(n));
@@ -95,6 +102,28 @@ BitVec CrashMultiPeer::owned_share(const BitVec& base, std::size_t r,
 void CrashMultiPeer::on_start() {
   ensure_init();
   start_phase(1);
+}
+
+std::string CrashMultiPeer::status() const {
+  if (terminated()) return "terminated";
+  std::ostringstream os;
+  os << "phase " << phase_ << ", ";
+  switch (progress_) {
+    case Progress::kIdle: os << "idle (not started)"; break;
+    case Progress::kWait1:
+      os << "stage 2: waiting for RESP1 quorum ("
+         << (phase_ >= 1 && phase_ <= heard_.size() ? heard_[phase_ - 1].size()
+                                                    : 0)
+         << "/" << quorum() << " heard)";
+      break;
+    case Progress::kWait2:
+      os << "stage 3: waiting for RESP2 quorum (" << resp2_count_ << "/"
+         << quorum() << ", " << missing_.size() << " peers missing)";
+      break;
+    case Progress::kDone: os << "done stage reached"; break;
+  }
+  os << "; " << known_.popcount() << "/" << n() << " bits known";
+  return os.str();
 }
 
 void CrashMultiPeer::ensure_init() {

@@ -149,6 +149,7 @@ class CrashMultiPeer final : public dr::Peer {
   explicit CrashMultiPeer(Options opts);
 
   void on_start() override;
+  std::string status() const override;
 
   /// Phases entered before terminating (diagnostics for benches/tests).
   std::size_t phases_run() const { return phase_; }

@@ -34,6 +34,10 @@ dr::RunReport run_scenario(const Scenario& scenario) {
         world.adversary_rng(0x1a7ull), 0.05, 1.0));
   }
 
+  if (scenario.stressor) {
+    world.network().set_delivery_stressor(scenario.stressor(cfg));
+  }
+
   const std::unordered_set<sim::PeerId> byz(scenario.byz_ids.begin(),
                                             scenario.byz_ids.end());
   ASYNCDR_EXPECTS_MSG(byz.empty() || scenario.byzantine != nullptr,
@@ -70,9 +74,9 @@ PeerFactory make_crash_multi(CrashMultiPeer::Options opts) {
   };
 }
 
-PeerFactory make_committee() {
-  return [](const dr::Config&, sim::PeerId) {
-    return std::make_unique<CommitteePeer>();
+PeerFactory make_committee(CommitteePeer::Options opts) {
+  return [opts](const dr::Config&, sim::PeerId) {
+    return std::make_unique<CommitteePeer>(opts);
   };
 }
 

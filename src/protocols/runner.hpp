@@ -34,6 +34,12 @@ using PeerFactory =
 using LatencyFactory =
     std::function<std::unique_ptr<sim::LatencyPolicy>(const dr::Config&)>;
 
+/// Builds a beyond-model delivery stressor (chaos layer). A scenario with a
+/// stressor installed runs OUTSIDE the paper's model: its outcome measures
+/// graceful degradation, not in-model correctness.
+using StressorFactory =
+    std::function<std::unique_ptr<sim::DeliveryStressor>(const dr::Config&)>;
+
 /// A complete experiment description.
 struct Scenario {
   dr::Config cfg;
@@ -45,6 +51,7 @@ struct Scenario {
 
   adv::CrashPlan crashes;
   LatencyFactory latency;  ///< default: seeded UniformLatency
+  StressorFactory stressor;  ///< beyond-model; default: none
   std::map<sim::PeerId, sim::Time> start_times;
 
   std::size_t max_events = sim::Engine::kDefaultEventBudget;
@@ -64,7 +71,7 @@ dr::RunReport run_scenario(const Scenario& scenario);
 PeerFactory make_naive();
 PeerFactory make_crash_one();
 PeerFactory make_crash_multi(CrashMultiPeer::Options opts = {});
-PeerFactory make_committee();
+PeerFactory make_committee(CommitteePeer::Options opts = {});
 /// Derives RandParams from the config with the given concentration constant.
 PeerFactory make_two_cycle(double concentration = 3.0, double tau_margin = 2.0);
 PeerFactory make_multi_cycle(double concentration = 3.0, double tau_margin = 2.0);

@@ -9,6 +9,7 @@ namespace asyncdr::sim {
 LatencyPolicy::~LatencyPolicy() = default;
 Receiver::~Receiver() = default;
 NetworkObserver::~NetworkObserver() = default;
+DeliveryStressor::~DeliveryStressor() = default;
 void NetworkObserver::on_send(const Message&, std::size_t) {}
 void NetworkObserver::on_deliver(const Message&) {}
 void NetworkObserver::on_drop(const Message&) {}
@@ -28,6 +29,9 @@ Network::Network(Engine& engine, std::size_t k, std::size_t message_size_bits)
       links_(k * k),
       sent_units_(k, 0),
       sent_payloads_(k, 0),
+      in_flight_(k * k, 0),
+      last_send_at_(k, -1.0),
+      last_delivery_at_(k, -1.0),
       latency_(std::make_unique<FixedLatency>(1.0)) {
   ASYNCDR_EXPECTS(k >= 2);
   ASYNCDR_EXPECTS(message_size_bits >= 1);
@@ -45,6 +49,10 @@ void Network::set_latency_policy(std::unique_ptr<LatencyPolicy> policy) {
 }
 
 void Network::set_observer(NetworkObserver* observer) { observer_ = observer; }
+
+void Network::set_delivery_stressor(std::unique_ptr<DeliveryStressor> stressor) {
+  stressor_ = std::move(stressor);
+}
 
 void Network::set_pre_send_hook(PreSendHook hook) {
   pre_send_hook_ = std::move(hook);
@@ -74,6 +82,7 @@ void Network::send(PeerId from, PeerId to, PayloadPtr payload) {
   const std::size_t units = unit_messages(*msg.payload);
   sent_units_[from] += units;
   sent_payloads_[from] += 1;
+  last_send_at_[from] = engine_.now();
   if (observer_) observer_->on_send(msg, units);
 
   // Link serialization: one unit message per directed link per time unit.
@@ -83,15 +92,30 @@ void Network::send(PeerId from, PeerId to, PayloadPtr payload) {
   const Time transmission = static_cast<Time>(units - 1);
   const Time arrival = departure + transmission + latency_->propagation(msg);
 
-  engine_.schedule_at(arrival, [this, msg = std::move(msg)]() {
-    if (crashed_[msg.to] || receivers_[msg.to] == nullptr) {
-      if (observer_) observer_->on_drop(msg);
-      return;
+  // A beyond-model stressor may replicate the delivery and/or hold copies
+  // past the scheduled arrival. In-model runs take the single-copy path.
+  const std::size_t copies =
+      stressor_ ? std::max<std::size_t>(1, stressor_->copies(msg)) : 1;
+  for (std::size_t copy = 0; copy < copies; ++copy) {
+    Time at = arrival;
+    if (stressor_) {
+      const Time extra = stressor_->extra_delay(msg, copy);
+      ASYNCDR_EXPECTS_MSG(extra >= 0, "stressor extra delay must be >= 0");
+      at += extra;
     }
-    ++total_deliveries_;
-    if (observer_) observer_->on_deliver(msg);
-    receivers_[msg.to]->deliver(msg);
-  });
+    ++in_flight_[from * k_ + to];
+    engine_.schedule_at(at, [this, msg]() {
+      --in_flight_[msg.from * k_ + msg.to];
+      if (crashed_[msg.to] || receivers_[msg.to] == nullptr) {
+        if (observer_) observer_->on_drop(msg);
+        return;
+      }
+      ++total_deliveries_;
+      last_delivery_at_[msg.to] = engine_.now();
+      if (observer_) observer_->on_deliver(msg);
+      receivers_[msg.to]->deliver(msg);
+    });
+  }
 }
 
 void Network::broadcast(PeerId from, PayloadPtr payload) {
@@ -126,6 +150,27 @@ std::uint64_t Network::sent_units(PeerId id) const {
 std::uint64_t Network::sent_payloads(PeerId id) const {
   ASYNCDR_EXPECTS(id < k_);
   return sent_payloads_[id];
+}
+
+std::uint32_t Network::in_flight(PeerId from, PeerId to) const {
+  ASYNCDR_EXPECTS(from < k_ && to < k_);
+  return in_flight_[from * k_ + to];
+}
+
+std::uint64_t Network::total_in_flight() const {
+  std::uint64_t total = 0;
+  for (const std::uint32_t f : in_flight_) total += f;
+  return total;
+}
+
+Time Network::last_send_at(PeerId id) const {
+  ASYNCDR_EXPECTS(id < k_);
+  return last_send_at_[id];
+}
+
+Time Network::last_delivery_at(PeerId id) const {
+  ASYNCDR_EXPECTS(id < k_);
+  return last_delivery_at_[id];
 }
 
 Network::LinkState& Network::link(PeerId from, PeerId to) {

@@ -57,6 +57,24 @@ class NetworkObserver {
   virtual void on_drop(const Message& msg);
 };
 
+/// Beyond-model fault injection (the chaos layer's opt-in stressors).
+/// The DR model's adversary already controls latency and crashes; this hook
+/// additionally lets a run duplicate deliveries and hold messages past the
+/// normalized latency bound — *outside* the paper's model, so runs with a
+/// stressor installed measure graceful degradation, not in-model
+/// correctness. Delivery copies beyond the first are free for the sender's
+/// message-complexity accounting (they are the adversary's forgeries, not
+/// the peer's sends).
+class DeliveryStressor {
+ public:
+  virtual ~DeliveryStressor();
+  /// How many times to deliver `msg` (>= 1; 1 = normal delivery).
+  virtual std::size_t copies(const Message& msg) = 0;
+  /// Extra delay (>= 0) added on top of the scheduled arrival of copy
+  /// `copy` (0-based; copy 0 is the primary delivery).
+  virtual Time extra_delay(const Message& msg, std::size_t copy) = 0;
+};
+
 /// The clique network over k peers.
 class Network {
  public:
@@ -77,6 +95,12 @@ class Network {
 
   /// Metrics/tracing observer (not owned). May be null.
   void set_observer(NetworkObserver* observer);
+
+  /// Installs a beyond-model delivery stressor (duplication, burst holds).
+  /// Default: none. Installing one takes the run outside the paper's model;
+  /// see DeliveryStressor.
+  void set_delivery_stressor(std::unique_ptr<DeliveryStressor> stressor);
+  bool has_delivery_stressor() const { return stressor_ != nullptr; }
 
   /// Adversary hook invoked before each send is processed; it may call
   /// crash(from) to model a peer dying mid-broadcast.
@@ -107,6 +131,18 @@ class Network {
   std::uint64_t sent_payloads(PeerId id) const;
   std::uint64_t total_deliveries() const { return total_deliveries_; }
 
+  // ---- Stall diagnostics (always on; used by dr::World's stall report) ----
+
+  /// Messages scheduled but not yet delivered/dropped on the directed link
+  /// from -> to.
+  std::uint32_t in_flight(PeerId from, PeerId to) const;
+  /// Sum of in_flight over all links.
+  std::uint64_t total_in_flight() const;
+  /// Virtual time of the last accepted send by `id`; negative if none.
+  Time last_send_at(PeerId id) const;
+  /// Virtual time of the last delivery to `id`; negative if none.
+  Time last_delivery_at(PeerId id) const;
+
  private:
   struct LinkState {
     Time next_free = 0;
@@ -121,10 +157,14 @@ class Network {
   std::vector<LinkState> links_;  // k*k directed links
   std::vector<std::uint64_t> sent_units_;
   std::vector<std::uint64_t> sent_payloads_;
+  std::vector<std::uint32_t> in_flight_;  // k*k directed links
+  std::vector<Time> last_send_at_;
+  std::vector<Time> last_delivery_at_;
   std::uint64_t total_deliveries_ = 0;
   std::uint64_t next_message_id_ = 0;
   std::unique_ptr<LatencyPolicy> latency_;
   NetworkObserver* observer_ = nullptr;
+  std::unique_ptr<DeliveryStressor> stressor_;
   PreSendHook pre_send_hook_;
 };
 

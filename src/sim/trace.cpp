@@ -89,6 +89,13 @@ std::size_t Trace::count(TraceEvent::Kind kind) const {
   return total;
 }
 
+const TraceEvent* Trace::last_event_involving(PeerId peer) const {
+  for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+    if (it->from == peer || it->to == peer) return &*it;
+  }
+  return nullptr;
+}
+
 std::string Trace::render(PeerId only_peer, std::size_t max_lines) const {
   std::ostringstream os;
   std::size_t lines = 0;

@@ -75,6 +75,11 @@ class Trace final : public NetworkObserver {
   /// Number of events of one kind.
   std::size_t count(TraceEvent::Kind kind) const;
 
+  /// The most recent recorded event a peer took part in (as sender or
+  /// recipient), or nullptr if it never appears. Stall diagnostics use this
+  /// to say what a stuck peer last did.
+  const TraceEvent* last_event_involving(PeerId peer) const;
+
   /// Renders the (optionally peer-filtered) timeline, one event per line.
   std::string render(PeerId only_peer = kNoPeer,
                      std::size_t max_lines = 200) const;

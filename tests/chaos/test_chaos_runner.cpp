@@ -1,0 +1,133 @@
+// The sweep runner: green on healthy protocols, byte-deterministic
+// regardless of thread count, catches the injected committee bug and
+// shrinks it to a small repro, and classifies stalls with diagnostics.
+#include "chaos/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace asyncdr::chaos {
+namespace {
+
+TEST(ChaosRunner, SmallSweepOverDefaultGridIsGreen) {
+  SweepOptions options;
+  options.seeds = 10;
+  options.threads = 2;
+  options.chaos.n_cap = 512;  // keep the tier-1 suite fast
+  const SweepReport report = ChaosRunner(options).run();
+  EXPECT_EQ(report.cases, 40u);
+  EXPECT_EQ(report.passed, report.cases) << report.to_string(true);
+  EXPECT_TRUE(report.failures.empty());
+  EXPECT_EQ(report.per_protocol.size(), 4u);
+}
+
+TEST(ChaosRunner, ReportIsByteIdenticalAcrossThreadCounts) {
+  SweepOptions options;
+  options.seeds = 6;
+  options.chaos.n_cap = 256;
+  options.threads = 1;
+  const std::string serial = ChaosRunner(options).run().to_string(true);
+  options.threads = 4;
+  const std::string threaded = ChaosRunner(options).run().to_string(true);
+  EXPECT_EQ(serial, threaded);
+  options.threads = 3;
+  EXPECT_EQ(serial, ChaosRunner(options).run().to_string(true));
+}
+
+TEST(ChaosRunner, BeyondModelFailuresCountAsDegradedNotViolations) {
+  SweepOptions options;
+  options.protocols = {"naive", "committee"};
+  options.seeds = 8;
+  options.threads = 2;
+  options.chaos.n_cap = 256;
+  options.chaos.beyond_model = true;
+  const SweepReport report = ChaosRunner(options).run();
+  // Beyond the model nothing is a violation; failures (if any) are counted
+  // as graceful-degradation data instead.
+  EXPECT_TRUE(report.failures.empty()) << report.to_string(true);
+  EXPECT_EQ(report.passed, report.cases);
+}
+
+TEST(ChaosRunner, InjectedCommitteeBugIsCaughtAndShrunk) {
+  SweepOptions options;
+  options.protocols = {"committee"};
+  options.seeds = 40;
+  options.threads = 2;
+  options.chaos.inject_committee_bug = true;
+  const SweepReport report = ChaosRunner(options).run();
+  ASSERT_FALSE(report.failures.empty())
+      << "the planted vote-threshold off-by-one was never triggered";
+  ASSERT_EQ(report.repros.size(), report.failures.size());
+  for (const ShrunkRepro& repro : report.repros) {
+    EXPECT_FALSE(repro.violation.empty());
+    EXPECT_GT(repro.shrink_runs, 0u);
+    EXPECT_NE(repro.command_line.find("--inject-bug committee-threshold"),
+              std::string::npos)
+        << repro.command_line;
+  }
+  // The acceptance bar: at least one failure shrinks into the small-repro
+  // regime (k <= 10, n <= 512).
+  const bool small = std::any_of(
+      report.repros.begin(), report.repros.end(), [](const ShrunkRepro& r) {
+        return r.cfg.k <= 10 && r.cfg.n <= 512;
+      });
+  EXPECT_TRUE(small) << report.to_string();
+}
+
+TEST(ChaosRunner, ShrunkReproReplaysAsAOneLinerSweep) {
+  // Find one failure, shrink it, then replay the shrunk (protocol, seed,
+  // options) triple as its own single-case sweep: it must fail again with
+  // the same violation — the repro line is self-contained.
+  SweepOptions options;
+  options.protocols = {"committee"};
+  options.seeds = 40;
+  options.threads = 2;
+  options.chaos.inject_committee_bug = true;
+  options.shrink = true;
+  const SweepReport report = ChaosRunner(options).run();
+  ASSERT_FALSE(report.repros.empty());
+  const ShrunkRepro& repro = report.repros.front();
+
+  SweepOptions replay;
+  replay.protocols = {repro.protocol};
+  replay.seed_base = repro.seed;
+  replay.seeds = 1;
+  replay.threads = 1;
+  replay.shrink = false;
+  replay.chaos = repro.options;
+  const SweepReport r = ChaosRunner(replay).run();
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_EQ(r.failures[0].violation, repro.violation);
+}
+
+TEST(ChaosRunner, BudgetExhaustionClassifiesAsStallWithDiagnostics) {
+  const ProtocolProfile* committee = find_protocol("committee");
+  ASSERT_NE(committee, nullptr);
+  // An absurdly small event budget forces a mid-protocol stop; the runner
+  // must classify it as a stall and attach the per-peer diagnostics.
+  const CaseResult result =
+      ChaosRunner::run_case(*committee, 3, ChaosOptions{}, /*max_events=*/40);
+  EXPECT_TRUE(result.report.budget_exhausted);
+  EXPECT_NE(result.violation.find("stalled: event budget exhausted"),
+            std::string::npos)
+      << result.violation;
+  EXPECT_FALSE(result.report.stall.empty());
+  EXPECT_NE(result.report.stall.find("stuck peer"), std::string::npos)
+      << result.report.stall;
+}
+
+TEST(ChaosRunner, RejectsUnknownProtocolAndEmptyGrid) {
+  SweepOptions bad;
+  bad.protocols = {"no_such_protocol"};
+  bad.seeds = 1;
+  EXPECT_THROW(ChaosRunner(bad).run(), contract_violation);
+  SweepOptions zero;
+  zero.seeds = 0;
+  EXPECT_THROW(ChaosRunner{zero}, contract_violation);
+}
+
+}  // namespace
+}  // namespace asyncdr::chaos

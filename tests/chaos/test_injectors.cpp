@@ -1,0 +1,115 @@
+// Case sampling: deterministic in (protocol, seed, options), respects the
+// shrinkable caps, and marks beyond-model cases as such.
+#include "chaos/injectors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace asyncdr::chaos {
+namespace {
+
+const ProtocolProfile& profile(const std::string& name) {
+  const ProtocolProfile* p = find_protocol(name);
+  EXPECT_NE(p, nullptr) << name;
+  return *p;
+}
+
+TEST(Registry, KnowsTheSweepableProtocols) {
+  for (const char* name :
+       {"naive", "crash_one", "crash_multi", "committee", "two_cycle",
+        "multi_cycle"}) {
+    EXPECT_NE(find_protocol(name), nullptr) << name;
+  }
+  EXPECT_EQ(find_protocol("no_such_protocol"), nullptr);
+}
+
+TEST(SampleCase, PureFunctionOfItsInputs) {
+  const ChaosOptions options;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const ChaosCase a = sample_case(profile("committee"), seed, options);
+    const ChaosCase b = sample_case(profile("committee"), seed, options);
+    EXPECT_EQ(a.description, b.description);
+    EXPECT_EQ(a.cfg.n, b.cfg.n);
+    EXPECT_EQ(a.cfg.k, b.cfg.k);
+    EXPECT_DOUBLE_EQ(a.cfg.beta, b.cfg.beta);
+    EXPECT_EQ(a.faults, b.faults);
+    EXPECT_EQ(a.q_bound, b.q_bound);
+  }
+}
+
+TEST(SampleCase, SeedsAndProtocolsDecorrelate) {
+  const ChaosOptions options;
+  std::set<std::string> descriptions;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    descriptions.insert(sample_case(profile("naive"), seed, options).description);
+    descriptions.insert(
+        sample_case(profile("committee"), seed, options).description);
+  }
+  // All 20 sampled cases are distinct adversary compositions.
+  EXPECT_EQ(descriptions.size(), 20u);
+}
+
+TEST(SampleCase, CapsClampTheSampledShape) {
+  ChaosOptions options;
+  options.n_cap = 16;
+  options.k_cap = 3;
+  options.fault_cap = 1;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const ChaosCase cs = sample_case(profile("committee"), seed, options);
+    EXPECT_EQ(cs.cfg.n, 16u);
+    EXPECT_EQ(cs.cfg.k, 3u);
+    EXPECT_LE(cs.faults, 1u);
+  }
+}
+
+TEST(SampleCase, ZeroSpreadCollapsesToTheFaithfulSchedule) {
+  ChaosOptions options;
+  options.latency_spread = 0.0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const ChaosCase cs = sample_case(profile("committee"), seed, options);
+    EXPECT_TRUE(cs.timing_faithful) << cs.description;
+    EXPECT_TRUE(cs.scenario.start_times.empty()) << cs.description;
+  }
+}
+
+TEST(SampleCase, BeyondModelInstallsAStressorAndIsMarked) {
+  ChaosOptions options;
+  options.beyond_model = true;
+  const ChaosCase cs = sample_case(profile("naive"), 5, options);
+  EXPECT_TRUE(cs.beyond_model);
+  EXPECT_FALSE(cs.timing_faithful);
+  EXPECT_TRUE(static_cast<bool>(cs.scenario.stressor));
+  EXPECT_NE(cs.description.find("stress{"), std::string::npos);
+}
+
+TEST(SampleCase, SingleCrashProtocolPinsBetaToOneCrash) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const ChaosCase cs = sample_case(profile("crash_one"), seed, ChaosOptions{});
+    EXPECT_EQ(cs.cfg.max_faulty(), 1u) << cs.description;
+    EXPECT_LE(cs.faults, 1u);
+  }
+}
+
+TEST(SampleCase, CrashOnlyProfilesNeverGoByzantine) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const ChaosCase cs =
+        sample_case(profile("crash_multi"), seed, ChaosOptions{});
+    EXPECT_TRUE(cs.scenario.byz_ids.empty()) << cs.description;
+  }
+}
+
+TEST(ToFlags, RendersTheReproFlags) {
+  ChaosOptions options;
+  options.n_cap = 64;
+  options.k_cap = 5;
+  options.fault_cap = 2;
+  options.latency_spread = 0.25;
+  options.inject_committee_bug = true;
+  EXPECT_EQ(options.to_flags(),
+            "--n-cap 64 --k-cap 5 --fault-cap 2 --latency-spread 0.250 "
+            "--inject-bug committee-threshold");
+}
+
+}  // namespace
+}  // namespace asyncdr::chaos

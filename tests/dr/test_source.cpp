@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/check.hpp"
 
 namespace asyncdr::dr {
@@ -77,6 +79,42 @@ TEST(Source, BoundsChecked) {
   EXPECT_THROW(src.query(2, 0), contract_violation);
   EXPECT_THROW(src.query_range(0, 5, 4), contract_violation);
   EXPECT_THROW(src.set_overlay(0, BitVec(9)), contract_violation);
+}
+
+TEST(Source, OutOfBoundsMessageNamesIndexAndArraySize) {
+  Source src(BitVec(8), 2);
+  try {
+    src.query(0, 12);
+    FAIL() << "expected contract_violation";
+  } catch (const contract_violation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("Source::query"), std::string::npos) << what;
+    EXPECT_NE(what.find("index 12"), std::string::npos) << what;
+    EXPECT_NE(what.find("n=8"), std::string::npos) << what;
+  }
+}
+
+TEST(Source, QueryRangeRejectsOverflowingRanges) {
+  Source src(BitVec(8), 1);
+  const std::size_t huge = std::numeric_limits<std::size_t>::max();
+  // lo + len wraps around; the naive `lo + len <= n` check would pass.
+  EXPECT_THROW(src.query_range(0, 2, huge), contract_violation);
+  EXPECT_THROW(src.query_range(0, huge, 2), contract_violation);
+  EXPECT_THROW(src.query_range(0, 8, 1), contract_violation);
+  // The full range is still fine.
+  EXPECT_EQ(src.query_range(0, 0, 8).size(), 8u);
+}
+
+TEST(Source, QueryIndicesRejectsAnyOutOfRangeIndex) {
+  Source src(BitVec(8), 1);
+  EXPECT_THROW(src.query_indices(0, {0, 3, 8}), contract_violation);
+  try {
+    src.query_indices(0, {0, 3, 9});
+    FAIL() << "expected contract_violation";
+  } catch (const contract_violation& e) {
+    EXPECT_NE(std::string(e.what()).find("index 9"), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "common/check.hpp"
 
 namespace asyncdr::dr {
@@ -117,6 +120,104 @@ TEST(World, MissingPeerRejected) {
 
 TEST(World, InputLengthMustMatch) {
   EXPECT_THROW(World(small_cfg(), BitVec(31)), contract_violation);
+}
+
+struct Ping final : sim::Payload {
+  std::size_t size_bits() const override { return 8; }
+  std::string type_name() const override { return "Ping"; }
+};
+
+/// Broadcasts once and then idles (never terminates).
+struct BroadcastOncePeer final : Peer {
+  void on_start() override { broadcast(std::make_shared<Ping>()); }
+  void on_message(sim::PeerId, const sim::Payload&) override {}
+};
+
+/// Idles and records who it hears from.
+struct ListenerPeer final : Peer {
+  void on_start() override {}
+  void on_message(sim::PeerId from, const sim::Payload&) override {
+    heard.push_back(from);
+  }
+  std::string status() const override { return "listening forever"; }
+  std::vector<sim::PeerId> heard;
+};
+
+TEST(World, CrashAfterSendsCutsBroadcastToAnExactRecipientPrefix) {
+  Config cfg{.n = 32, .k = 6, .beta = 0.2, .message_bits = 16, .seed = 1};
+  World w(cfg, BitVec(32));
+  w.set_peer(0, std::make_unique<BroadcastOncePeer>());
+  std::vector<ListenerPeer*> listeners(6, nullptr);
+  for (sim::PeerId i = 1; i < 6; ++i) {
+    auto p = std::make_unique<ListenerPeer>();
+    listeners[i] = p.get();
+    w.set_peer(i, std::move(p));
+  }
+  sim::Trace& trace = w.enable_trace();
+  // Peer 0 dies mid-broadcast with exactly 3 sends out. broadcast() visits
+  // recipients in ID order, so peers 1..3 hear it and peers 4..5 never do.
+  w.crash_after_sends(0, 3);
+  (void)w.run();
+  for (sim::PeerId i = 1; i <= 3; ++i) {
+    ASSERT_EQ(listeners[i]->heard.size(), 1u) << "peer " << i;
+    EXPECT_EQ(listeners[i]->heard[0], 0u);
+  }
+  EXPECT_TRUE(listeners[4]->heard.empty());
+  EXPECT_TRUE(listeners[5]->heard.empty());
+  // The trace records the cut: three accepted sends, then the crash.
+  const auto sends = trace.filter([](const sim::TraceEvent& ev) {
+    return ev.kind == sim::TraceEvent::Kind::kSend && ev.from == 0;
+  });
+  EXPECT_EQ(sends.size(), 3u);
+  EXPECT_EQ(trace.count(sim::TraceEvent::Kind::kCrash), 1u);
+}
+
+TEST(World, UnterminatedRunProducesAStallReportNamingTheStuckPeer) {
+  World w(small_cfg(), BitVec(32));
+  w.set_peer(0, std::make_unique<QueryAllPeer>());
+  w.set_peer(1, std::make_unique<ListenerPeer>());
+  w.set_peer(2, std::make_unique<QueryAllPeer>());
+  const RunReport r = w.run();
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.stall.empty());
+  EXPECT_NE(r.stall.find("quiescent but incomplete"), std::string::npos)
+      << r.stall;
+  EXPECT_NE(r.stall.find("stuck peer 1"), std::string::npos) << r.stall;
+  // The peer's own status() line surfaces what it was doing.
+  EXPECT_NE(r.stall.find("listening forever"), std::string::npos) << r.stall;
+  // Clean runs carry no stall report.
+  World ok(small_cfg(), BitVec(32));
+  for (sim::PeerId i = 0; i < 3; ++i) {
+    ok.set_peer(i, std::make_unique<QueryAllPeer>());
+  }
+  EXPECT_TRUE(ok.run().stall.empty());
+}
+
+/// Ping-pong forever: every delivery is answered, so the run can only end
+/// by exhausting the event budget.
+struct PingPongPeer final : Peer {
+  void on_start() override {
+    if (id() == 0) send(1, std::make_shared<Ping>());
+  }
+  void on_message(sim::PeerId from, const sim::Payload&) override {
+    send(from, std::make_shared<Ping>());
+  }
+  std::string status() const override { return "ping-ponging"; }
+};
+
+TEST(World, BudgetExhaustionProducesAStallReportWithBusyLinks) {
+  World w(small_cfg(), BitVec(32));
+  for (sim::PeerId i = 0; i < 3; ++i) {
+    w.set_peer(i, std::make_unique<PingPongPeer>());
+  }
+  const RunReport r = w.run(/*max_events=*/100);
+  EXPECT_TRUE(r.budget_exhausted);
+  ASSERT_FALSE(r.stall.empty());
+  EXPECT_NE(r.stall.find("event budget exhausted"), std::string::npos)
+      << r.stall;
+  EXPECT_NE(r.stall.find("ping-ponging"), std::string::npos) << r.stall;
+  // The ball was in flight when the budget ran out.
+  EXPECT_NE(r.stall.find("in flight"), std::string::npos) << r.stall;
 }
 
 TEST(World, ReportToStringMentionsVerdict) {

@@ -21,6 +21,7 @@ constexpr std::size_t kRepeats = 5;
 int main() {
   banner("E5 — deterministic Byzantine committee protocol (Thm 3.4)",
          "Q = O(beta n + n/k) for beta < 1/2, deterministic, asynchronous");
+  BenchJson bj("committee");
 
   section("Q vs beta, n=16384, k=32, flip-all liars at max t");
   {
@@ -43,6 +44,7 @@ int main() {
       table.add(beta, c.max_faulty(), 2 * c.max_faulty() + 1,
                 mean_cell(stats.q), bounds::committee_q(c), mean_cell(stats.t),
                 mean_cell(stats.m), stats.failures);
+      bj.record("q-vs-beta", "beta=" + Table::to_cell(beta), stats);
     }
     table.print();
     std::printf("shape: Q ~ (2 beta + 1/k) n — linear in beta, the paper's\n"
@@ -73,6 +75,7 @@ int main() {
       });
       table.add(attack.name, mean_cell(stats.q), mean_cell(stats.t),
                 mean_cell(stats.m), stats.failures);
+      bj.record("attacks", attack.name, stats);
     }
     table.print();
   }
@@ -92,6 +95,7 @@ int main() {
       });
       table.add(b, mean_cell(stats.q), mean_cell(stats.t), mean_cell(stats.m),
                 stats.failures);
+      bj.record("B-sweep", "B=" + std::to_string(b), stats);
     }
     table.print();
     std::printf("shape: Q independent of B; T and M scale ~1/B (the n/B link\n"

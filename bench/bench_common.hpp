@@ -4,10 +4,14 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "obs/json.hpp"
 #include "protocols/bounds.hpp"
 #include "protocols/lowerbound.hpp"
 #include "protocols/runner.hpp"
@@ -54,5 +58,76 @@ RepeatStats repeat_runs(std::size_t repeats, ScenarioBuilder&& build) {
 inline std::string mean_cell(const Summary& s) {
   return s.empty() ? "-" : Table::to_cell(s.mean());
 }
+
+/// Machine-readable twin of the printed tables: every bench records its
+/// (section, label) data points here and the destructor writes
+/// BENCH_<name>.json (schema asyncdr-bench-v1) into $ASYNCDR_BENCH_DIR, or
+/// the working directory when unset. CI diffs fresh files against the
+/// checked-in baselines with tools/compare_bench.py.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {
+    doc_["schema"] = "asyncdr-bench-v1";
+    doc_["bench"] = name_;
+    doc_["entries"] = obs::Json::array();
+  }
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  ~BenchJson() { write(); }
+
+  /// One measured series point (a printed table row).
+  void record(const std::string& section, const std::string& label,
+              const RepeatStats& stats) {
+    obs::Json e = obs::Json::object();
+    e["section"] = section;
+    e["label"] = label;
+    e["runs"] = static_cast<std::uint64_t>(stats.runs);
+    e["failures"] = static_cast<std::uint64_t>(stats.failures);
+    if (!stats.q.empty()) {
+      e["q_mean"] = stats.q.mean();
+      e["q_min"] = stats.q.min();
+      e["q_max"] = stats.q.max();
+    }
+    if (!stats.t.empty()) e["t_mean"] = stats.t.mean();
+    if (!stats.m.empty()) e["m_mean"] = stats.m.mean();
+    doc_["entries"].push_back(std::move(e));
+  }
+
+  /// A single named scalar for benches with bespoke measurement loops.
+  void record_value(const std::string& section, const std::string& label,
+                    const std::string& metric, double value) {
+    obs::Json e = obs::Json::object();
+    e["section"] = section;
+    e["label"] = label;
+    e[metric] = value;
+    doc_["entries"].push_back(std::move(e));
+  }
+
+  std::string path() const {
+    const char* dir = std::getenv("ASYNCDR_BENCH_DIR");
+    const std::string base = dir != nullptr && *dir != '\0' ? dir : ".";
+    return base + "/BENCH_" + name_ + ".json";
+  }
+
+  void write() {
+    if (written_) return;
+    written_ = true;
+    const std::string p = path();
+    std::ofstream f(p, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "warning: cannot write %s\n", p.c_str());
+      return;
+    }
+    f << doc_.dump(2) << '\n';
+    std::fprintf(stderr, "bench json: %s\n", p.c_str());
+  }
+
+ private:
+  std::string name_;
+  obs::Json doc_ = obs::Json::object();
+  bool written_ = false;
+};
 
 }  // namespace asyncdr::bench

@@ -27,6 +27,7 @@ dr::Config cfg(std::size_t n, std::size_t k, double beta, std::uint64_t seed) {
 int main() {
   banner("E1/E2 — deterministic crash-fault Download (Thms 2.3, 2.13)",
          "Q optimal at n/((1-beta)k) for any beta < 1, async, deterministic");
+  BenchJson bj("crash");
 
   section("E1: Algorithm 1 (single crash), n=32768, k=16");
   {
@@ -68,6 +69,7 @@ int main() {
       });
       table.add(pattern.name, mean_cell(stats.q), bound, mean_cell(stats.t),
                 mean_cell(stats.m), stats.failures);
+      bj.record("E1", pattern.name, stats);
     }
     table.print();
   }
@@ -91,6 +93,7 @@ int main() {
       table.add(beta, c.max_faulty(), mean_cell(stats.q),
                 bounds::crash_multi_q(c), ideal, mean_cell(stats.t),
                 mean_cell(stats.m), stats.failures);
+      bj.record("E2-beta", "beta=" + Table::to_cell(beta), stats);
     }
     table.print();
     std::printf("shape: Q grows as 1/(1-beta), stays at its bound, and is\n"
@@ -127,6 +130,7 @@ int main() {
       });
       table.add(style.name, mean_cell(stats.q), mean_cell(stats.t),
                 mean_cell(stats.m), "see test diag", stats.failures);
+      bj.record("E2-adversary", style.name, stats);
     }
     table.print();
   }
@@ -159,6 +163,7 @@ int main() {
       });
       table.add(fast, mean_cell(stats.q), mean_cell(stats.t),
                 mean_cell(stats.m), stats.failures);
+      bj.record("fast-cancel", fast ? "on" : "off", stats);
     }
     table.print();
     std::printf("shape: identical Q; fast-cancel releases the stage-3\n"

@@ -23,6 +23,7 @@ int main() {
          "crossover structure: beta < 1/2 admits o(n) Byzantine protocols; "
          "beta >= 1/2 leaves only Q = n; crash model is fine for all beta < 1");
 
+  BenchJson bj("qc_vs_beta");
   Table table({"beta", "committee k=33", "2-cycle k=192", "crash k=32",
                "naive (any)"});
 
@@ -42,6 +43,7 @@ int main() {
         return s;
       });
       committee_q = committee.q;
+      bj.record("committee", "beta=" + Table::to_cell(beta), committee);
 
       const auto two = repeat_runs(kRepeats, [&](std::size_t rep) {
         Scenario s;
@@ -55,6 +57,7 @@ int main() {
         return s;
       });
       two_q = two.q;
+      bj.record("two_cycle", "beta=" + Table::to_cell(beta), two);
     }
 
     const auto crash = repeat_runs(kRepeats, [&](std::size_t rep) {
@@ -68,6 +71,7 @@ int main() {
       return s;
     });
     crash_q = crash.q;
+    bj.record("crash", "beta=" + Table::to_cell(beta), crash);
 
     table.add(beta, cell_or(committee_q, "impossible (Thm 3.1 regime)"),
               cell_or(two_q, "impossible (Thm 3.2 regime)"),

@@ -17,6 +17,7 @@ int main() {
          "slopes: naive 1, committee ~2 beta, randomized ~1/((1-2b)k), "
          "crash ~1/((1-b)k)");
 
+  BenchJson bj("qc_vs_n");
   Table table({"n", "naive", "committee b=.125 k=32", "2-cycle b=.125 k=192",
                "multi-cycle b=.125 k=192", "crash b=.5 k=32"});
 
@@ -55,6 +56,12 @@ int main() {
     table.add(n, mean_cell(naive.q), mean_cell(committee.q),
               mean_cell(two_cycle.q), mean_cell(multi_cycle.q),
               mean_cell(crash.q));
+    const std::string point = "n=" + std::to_string(n);
+    bj.record("naive", point, naive);
+    bj.record("committee", point, committee);
+    bj.record("two_cycle", point, two_cycle);
+    bj.record("multi_cycle", point, multi_cycle);
+    bj.record("crash", point, crash);
   }
   table.print();
   std::printf(

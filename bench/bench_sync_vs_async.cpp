@@ -35,12 +35,7 @@ std::vector<ProtocolRow> rows() {
   };
 }
 
-struct ScheduleResult {
-  Summary q, t, m;
-  std::size_t fails = 0;
-};
-
-ScheduleResult run_schedule(const ProtocolRow& row, int schedule) {
+RepeatStats run_schedule(const ProtocolRow& row, int schedule) {
   return [&] {
     RepeatStats stats = repeat_runs(kRepeats, [&](std::size_t rep) {
       Scenario s;
@@ -62,7 +57,7 @@ ScheduleResult run_schedule(const ProtocolRow& row, int schedule) {
       }
       return s;
     });
-    return ScheduleResult{stats.q, stats.t, stats.m, stats.failures};
+    return stats;
   }();
 }
 
@@ -73,6 +68,7 @@ int main() {
          "lockstep (synchronous rounds) vs adversarial asynchrony, per "
          "protocol");
 
+  BenchJson bj("sync_vs_async");
   for (const ProtocolRow& row : rows()) {
     section(row.name);
     Table table({"schedule", "Q", "T", "M", "fails"});
@@ -82,7 +78,8 @@ int main() {
     for (int schedule = 0; schedule < 3; ++schedule) {
       const auto result = run_schedule(row, schedule);
       table.add(names[schedule], mean_cell(result.q), mean_cell(result.t),
-                mean_cell(result.m), result.fails);
+                mean_cell(result.m), result.failures);
+      bj.record(row.name, names[schedule], result);
       if (!result.q.empty()) {
         q_min = std::min(q_min, result.q.mean());
         q_max = std::max(q_max, result.q.mean());

@@ -73,6 +73,7 @@ int main() {
                   make_crash_multi(), nullptr,
                   bounds::crash_multi_q(cfg_crash)});
 
+  BenchJson bj("table1");
   Table table({"protocol", "fault model", "resilience", "beta", "Q measured",
                "Q bound", "Q naive ratio", "T", "M", "fails"});
   for (const Row& row : rows) {
@@ -95,6 +96,7 @@ int main() {
               stats.q.empty() ? 0.0
                               : static_cast<double>(kN) / stats.q.mean(),
               mean_cell(stats.t), mean_cell(stats.m), stats.failures);
+    bj.record("table1", row.name, stats);
   }
   table.print();
 

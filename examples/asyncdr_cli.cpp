@@ -13,6 +13,25 @@
 //   --latency   fixed | uniform | seniority
 //   --n --k --beta --B --seed --repeats --concentration
 //   --trace N   print the first N lines of the execution trace (rep 0)
+//   --phases 1  print the per-phase Q/T/M breakdown table (rep 0)
+//
+// Structured trace export (see DESIGN.md, "Observability"):
+//
+//   asyncdr_cli trace --protocol committee --seed 1 --format perfetto
+//               --out committee.trace.json
+//
+//   --format perfetto | jsonl   Chrome trace-event JSON (load in Perfetto /
+//               chrome://tracing) or one JSON object per event
+//   --include-messages 1        add per-message instants to the timeline
+//   --out FILE                  default: stdout
+//   plus all single-run flags above (protocol, adversary, n, k, ...)
+//
+// Metrics snapshot:
+//
+//   asyncdr_cli metrics --protocol crash_multi --adversary random --out m.json
+//
+//   runs once with the standard collector attached and emits the
+//   asyncdr-metrics-v1 JSON snapshot (counters/gauges/histograms).
 //
 // Chaos sweeps (see DESIGN.md, "Chaos layer"):
 //
@@ -30,17 +49,24 @@
 //   --inject-bug committee-threshold   arm the planted off-by-one
 //   --no-shrink 1       report failures without shrinking them
 //   --verbose 1         list every case, not just failures
+//   --artifact-dir DIR  write each shrunk failure's metrics snapshot to
+//                       DIR/chaos_metrics_<i>.json (CI uploads these)
 //
 // Exit status: 0 if the sweep had no violations, 1 otherwise.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <map>
 #include <string>
 
 #include "chaos/runner.hpp"
 #include "common/table.hpp"
+#include "obs/collect.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "protocols/bounds.hpp"
 #include "protocols/runner.hpp"
 
@@ -83,6 +109,160 @@ Args parse(int argc, char** argv, int start = 1) {
   return args;
 }
 
+/// The single-run flags resolved into a ready-to-run Scenario. Shared by the
+/// default run path and the trace/metrics subcommands so a timeline or a
+/// metrics snapshot always describes exactly the run the flags name.
+struct SpecResult {
+  proto::Scenario scenario;
+  std::size_t bound = 0;
+  std::string protocol;
+  std::string adversary;
+  std::string latency;
+};
+
+SpecResult build_scenario(const Args& args, std::size_t rep) {
+  SpecResult out;
+  dr::Config cfg;
+  cfg.n = args.get_size("n", 1 << 14);
+  cfg.k = args.get_size("k", 32);
+  cfg.beta = args.get_double("beta", 0.25);
+  cfg.message_bits = args.get_size("B", 1024);
+  cfg.seed = args.get_size("seed", 1);
+  const double concentration = args.get_double("concentration", 2.0);
+
+  out.protocol = args.get("protocol", "crash_multi");
+  out.adversary = args.get("adversary", "none");
+  out.latency = args.get("latency", "uniform");
+
+  proto::Scenario& s = out.scenario;
+  s.cfg = cfg;
+  s.cfg.seed = cfg.seed + rep;
+
+  if (out.protocol == "naive") {
+    s.honest = proto::make_naive();
+    out.bound = proto::bounds::naive_q(cfg);
+  } else if (out.protocol == "crash_one") {
+    s.honest = proto::make_crash_one();
+    out.bound = proto::bounds::crash_one_q(cfg);
+  } else if (out.protocol == "crash_multi") {
+    s.honest = proto::make_crash_multi();
+    out.bound = proto::bounds::crash_multi_q(cfg);
+  } else if (out.protocol == "committee") {
+    s.honest = proto::make_committee();
+    out.bound = proto::bounds::committee_q(cfg);
+  } else if (out.protocol == "two_cycle") {
+    s.honest = proto::make_two_cycle(concentration);
+    out.bound = proto::bounds::two_cycle_q(
+        cfg, proto::RandParams::derive(cfg, concentration));
+  } else if (out.protocol == "multi_cycle") {
+    s.honest = proto::make_multi_cycle(concentration);
+    out.bound = proto::bounds::multi_cycle_q(
+        cfg, proto::RandParams::derive(cfg, concentration));
+  } else {
+    usage(("unknown protocol: " + out.protocol).c_str());
+  }
+
+  const std::size_t t = s.cfg.max_faulty();
+  Rng rng(s.cfg.seed * 31 + 5);
+  if (out.adversary == "none") {
+  } else if (out.adversary == "silent") {
+    s.crashes = adv::CrashPlan::silent_prefix(t);
+  } else if (out.adversary == "random") {
+    s.crashes = adv::CrashPlan::random(s.cfg, rng, t, 10.0);
+  } else if (out.adversary == "staggered") {
+    s.crashes = adv::CrashPlan::staggered(s.cfg, rng, t, 2.0);
+  } else if (out.adversary == "partial") {
+    s.crashes = adv::CrashPlan::partial_broadcast(s.cfg, rng, t, 3);
+  } else if (out.adversary.rfind("byz_", 0) == 0) {
+    if (out.adversary == "byz_silent") {
+      s.byzantine = proto::make_silent_byz();
+    } else if (out.adversary == "byz_liar") {
+      s.byzantine =
+          proto::make_committee_liar(proto::CommitteeLiarPeer::Mode::kFlipAll);
+    } else if (out.adversary == "byz_stuff") {
+      s.byzantine = proto::make_vote_stuffer(concentration, 0);
+    } else if (out.adversary == "byz_comb") {
+      s.byzantine = proto::make_comb_stuffer(concentration, 0);
+    } else if (out.adversary == "byz_equiv") {
+      s.byzantine = proto::make_equivocator(concentration);
+    } else if (out.adversary == "byz_rush") {
+      s.byzantine = proto::make_quorum_rusher(concentration);
+    } else if (out.adversary == "byz_garbage") {
+      s.byzantine = proto::make_garbage_byz();
+    } else {
+      usage(("unknown adversary: " + out.adversary).c_str());
+    }
+    s.byz_ids = proto::pick_faulty(s.cfg, t, rep);
+  } else {
+    usage(("unknown adversary: " + out.adversary).c_str());
+  }
+
+  if (out.latency == "fixed") {
+    s.latency = proto::fixed_latency(1.0);
+  } else if (out.latency == "uniform") {
+    s.latency = proto::uniform_latency(0.05, 1.0);
+  } else if (out.latency == "seniority") {
+    s.latency = proto::seniority_latency();
+  } else {
+    usage(("unknown latency: " + out.latency).c_str());
+  }
+  return out;
+}
+
+void write_output(const Args& args, const std::string& content) {
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    return;
+  }
+  std::ofstream f(out, std::ios::binary);
+  if (!f) usage(("cannot open --out file: " + out).c_str());
+  f << content;
+  std::fprintf(stderr, "wrote %zu bytes to %s\n", content.size(), out.c_str());
+}
+
+int run_trace_export(int argc, char** argv) {
+  const Args args = parse(argc, argv, 2);
+  SpecResult spec = build_scenario(args, 0);
+  const std::string format = args.get("format", "perfetto");
+  if (format != "perfetto" && format != "jsonl") {
+    usage(("unknown --format: " + format).c_str());
+  }
+
+  std::string rendered;
+  spec.scenario.instrument = [](dr::World& world) { world.enable_trace(); };
+  spec.scenario.post_run = [&](dr::World& world, const dr::RunReport& report) {
+    if (format == "perfetto") {
+      obs::PerfettoOptions opts;
+      opts.include_messages = args.get_size("include-messages", 0) != 0;
+      rendered = obs::to_perfetto(*world.trace(), report.phase_spans,
+                                  world.config().k, opts)
+                     .dump(1);
+      rendered.push_back('\n');
+    } else {
+      rendered = obs::to_jsonl(*world.trace());
+    }
+  };
+  proto::run_scenario(spec.scenario);
+  write_output(args, rendered);
+  return 0;
+}
+
+int run_metrics(int argc, char** argv) {
+  const Args args = parse(argc, argv, 2);
+  SpecResult spec = build_scenario(args, 0);
+
+  obs::MetricsRegistry registry;
+  obs::RunMetricsCollector collector(registry);
+  spec.scenario.instrument = [&](dr::World& world) { collector.attach(world); };
+  spec.scenario.post_run = [&](dr::World&, const dr::RunReport& report) {
+    collector.finalize(report);
+  };
+  const dr::RunReport report = proto::run_scenario(spec.scenario);
+  write_output(args, registry.to_json_string(2) + "\n");
+  return report.ok() ? 0 : 1;
+}
+
 int run_chaos(int argc, char** argv) {
   const Args args = parse(argc, argv, 2);
 
@@ -122,6 +302,28 @@ int run_chaos(int argc, char** argv) {
 
   const chaos::SweepReport report = chaos::ChaosRunner(options).run();
   std::printf("%s", report.to_string(args.get_size("verbose", 0) != 0).c_str());
+
+  const std::string artifact_dir = args.get("artifact-dir", "");
+  if (!artifact_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(artifact_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "warning: cannot create %s: %s\n",
+                   artifact_dir.c_str(), ec.message().c_str());
+    }
+    for (std::size_t i = 0; i < report.repros.size(); ++i) {
+      if (report.repros[i].metrics_json.empty()) continue;
+      const std::string path =
+          artifact_dir + "/chaos_metrics_" + std::to_string(i) + ".json";
+      std::ofstream f(path, std::ios::binary);
+      if (!f) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+        continue;
+      }
+      f << report.repros[i].metrics_json << '\n';
+      std::fprintf(stderr, "wrote failure metrics: %s\n", path.c_str());
+    }
+  }
   return report.failures.empty() ? 0 : 1;
 }
 
@@ -131,131 +333,41 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "chaos") == 0) {
     return run_chaos(argc, argv);
   }
-  const Args args = parse(argc, argv);
-
-  dr::Config cfg;
-  cfg.n = args.get_size("n", 1 << 14);
-  cfg.k = args.get_size("k", 32);
-  cfg.beta = args.get_double("beta", 0.25);
-  cfg.message_bits = args.get_size("B", 1024);
-  cfg.seed = args.get_size("seed", 1);
-  const std::size_t repeats = args.get_size("repeats", 1);
-  const double concentration = args.get_double("concentration", 2.0);
-
-  const std::string protocol = args.get("protocol", "crash_multi");
-  const std::string adversary = args.get("adversary", "none");
-  const std::string latency = args.get("latency", "uniform");
-
-  proto::PeerFactory honest;
-  std::size_t bound = 0;
-  if (protocol == "naive") {
-    honest = proto::make_naive();
-    bound = proto::bounds::naive_q(cfg);
-  } else if (protocol == "crash_one") {
-    honest = proto::make_crash_one();
-    bound = proto::bounds::crash_one_q(cfg);
-  } else if (protocol == "crash_multi") {
-    honest = proto::make_crash_multi();
-    bound = proto::bounds::crash_multi_q(cfg);
-  } else if (protocol == "committee") {
-    honest = proto::make_committee();
-    bound = proto::bounds::committee_q(cfg);
-  } else if (protocol == "two_cycle") {
-    honest = proto::make_two_cycle(concentration);
-    bound = proto::bounds::two_cycle_q(cfg,
-                                       proto::RandParams::derive(cfg, concentration));
-  } else if (protocol == "multi_cycle") {
-    honest = proto::make_multi_cycle(concentration);
-    bound = proto::bounds::multi_cycle_q(
-        cfg, proto::RandParams::derive(cfg, concentration));
-  } else {
-    usage(("unknown protocol: " + protocol).c_str());
+  if (argc > 1 && std::strcmp(argv[1], "trace") == 0) {
+    return run_trace_export(argc, argv);
   }
+  if (argc > 1 && std::strcmp(argv[1], "metrics") == 0) {
+    return run_metrics(argc, argv);
+  }
+  const Args args = parse(argc, argv);
+  const std::size_t repeats = args.get_size("repeats", 1);
+  const std::size_t trace_lines = args.get_size("trace", 0);
+  const bool show_phases = args.get_size("phases", 0) != 0;
 
   Table table({"rep", "ok", "Q", "Q bound", "T", "M", "events"});
   std::size_t failures = 0;
+  SpecResult spec;
   for (std::size_t rep = 0; rep < repeats; ++rep) {
-    proto::Scenario s;
-    s.cfg = cfg;
-    s.cfg.seed = cfg.seed + rep;
-    s.honest = honest;
-
-    const std::size_t t = s.cfg.max_faulty();
-    Rng rng(s.cfg.seed * 31 + 5);
-    if (adversary == "none") {
-    } else if (adversary == "silent") {
-      s.crashes = adv::CrashPlan::silent_prefix(t);
-    } else if (adversary == "random") {
-      s.crashes = adv::CrashPlan::random(s.cfg, rng, t, 10.0);
-    } else if (adversary == "staggered") {
-      s.crashes = adv::CrashPlan::staggered(s.cfg, rng, t, 2.0);
-    } else if (adversary == "partial") {
-      s.crashes = adv::CrashPlan::partial_broadcast(s.cfg, rng, t, 3);
-    } else if (adversary.rfind("byz_", 0) == 0) {
-      if (adversary == "byz_silent") {
-        s.byzantine = proto::make_silent_byz();
-      } else if (adversary == "byz_liar") {
-        s.byzantine =
-            proto::make_committee_liar(proto::CommitteeLiarPeer::Mode::kFlipAll);
-      } else if (adversary == "byz_stuff") {
-        s.byzantine = proto::make_vote_stuffer(concentration, 0);
-      } else if (adversary == "byz_comb") {
-        s.byzantine = proto::make_comb_stuffer(concentration, 0);
-      } else if (adversary == "byz_equiv") {
-        s.byzantine = proto::make_equivocator(concentration);
-      } else if (adversary == "byz_rush") {
-        s.byzantine = proto::make_quorum_rusher(concentration);
-      } else if (adversary == "byz_garbage") {
-        s.byzantine = proto::make_garbage_byz();
-      } else {
-        usage(("unknown adversary: " + adversary).c_str());
-      }
-      s.byz_ids = proto::pick_faulty(s.cfg, t, rep);
-    } else {
-      usage(("unknown adversary: " + adversary).c_str());
+    spec = build_scenario(args, rep);
+    if (rep == 0 && trace_lines > 0) {
+      spec.scenario.instrument = [](dr::World& world) { world.enable_trace(); };
+      spec.scenario.post_run = [&](dr::World& world, const dr::RunReport&) {
+        std::printf("%s", world.trace()->render(sim::kNoPeer, trace_lines).c_str());
+      };
     }
-
-    if (latency == "fixed") {
-      s.latency = proto::fixed_latency(1.0);
-    } else if (latency == "uniform") {
-      s.latency = proto::uniform_latency(0.05, 1.0);
-    } else if (latency == "seniority") {
-      s.latency = proto::seniority_latency();
-    } else {
-      usage(("unknown latency: " + latency).c_str());
-    }
-
-    const std::size_t trace_lines = args.get_size("trace", 0);
-    dr::RunReport report;
-    if (trace_lines > 0 && rep == 0) {
-      // Tracing needs direct World access; mirror run_scenario by hand.
-      dr::World world(s.cfg, proto::random_input(s.cfg.n, s.cfg.seed));
-      sim::Trace& trace = world.enable_trace();
-      if (s.latency) world.network().set_latency_policy(s.latency(s.cfg));
-      const std::set<sim::PeerId> byz(s.byz_ids.begin(), s.byz_ids.end());
-      for (sim::PeerId id = 0; id < s.cfg.k; ++id) {
-        if (byz.contains(id)) {
-          world.set_peer(id, s.byzantine(s.cfg, id));
-          world.mark_faulty(id);
-        } else {
-          world.set_peer(id, s.honest(s.cfg, id));
-        }
-      }
-      s.crashes.apply(world);
-      report = world.run();
-      std::printf("%s", trace.render(sim::kNoPeer, trace_lines).c_str());
-    } else {
-      report = proto::run_scenario(s);
+    const dr::RunReport report = proto::run_scenario(spec.scenario);
+    if (rep == 0 && show_phases) {
+      std::printf("%s", report.phase_table().c_str());
     }
     if (!report.ok()) ++failures;
-    table.add(rep, report.ok(), report.query_complexity, bound,
+    table.add(rep, report.ok(), report.query_complexity, spec.bound,
               report.time_complexity, report.message_complexity,
               report.events);
   }
 
   std::printf("%s  protocol=%s adversary=%s latency=%s\n",
-              cfg.to_string().c_str(), protocol.c_str(), adversary.c_str(),
-              latency.c_str());
+              spec.scenario.cfg.to_string().c_str(), spec.protocol.c_str(),
+              spec.adversary.c_str(), spec.latency.c_str());
   table.print();
   return failures == 0 ? 0 : 1;
 }

@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "obs/collect.hpp"
+#include "obs/metrics.hpp"
 
 namespace asyncdr::chaos {
 
@@ -194,6 +196,21 @@ ShrunkRepro ChaosRunner::shrink_failure(const ProtocolProfile& profile,
   out.violation = violation;
   out.cfg = sample_case(profile, seed, options).cfg;
   out.command_line = repro_command(profile.name, seed, options);
+
+  // One more run of the shrunk case with a collector attached, so the repro
+  // ships with a machine-readable metrics snapshot of the failure.
+  {
+    ChaosCase cs = sample_case(profile, seed, options);
+    cs.scenario.max_events = max_events;
+    obs::MetricsRegistry registry;
+    obs::RunMetricsCollector collector(registry);
+    cs.scenario.instrument = [&](dr::World& world) { collector.attach(world); };
+    cs.scenario.post_run = [&](dr::World&, const dr::RunReport& report) {
+      collector.finalize(report);
+    };
+    proto::run_scenario(cs.scenario);
+    out.metrics_json = registry.to_json_string();
+  }
   return out;
 }
 

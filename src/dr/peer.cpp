@@ -42,11 +42,16 @@ BitVec Peer::query_indices(const std::vector<std::size_t>& indices) {
 
 sim::Time Peer::now() const { return world_->engine().now(); }
 
+void Peer::begin_phase(std::string name) {
+  world_->begin_phase(id_, std::move(name));
+}
+
 void Peer::finish(BitVec output) {
   ASYNCDR_EXPECTS_MSG(!terminated_, "finish() called twice");
   terminated_ = true;
   output_ = std::move(output);
   termination_time_ = now();
+  world_->phase_tracker_.close(id_, termination_time_);
   if (world_->trace()) {
     world_->trace()->record_terminate(termination_time_, id_);
   }

@@ -60,6 +60,13 @@ class Peer : public sim::Receiver {
 
   sim::Time now() const;
 
+  /// Opens a named protocol phase for this peer (closing the previous one).
+  /// All source queries and sends from now until the next begin_phase() or
+  /// finish() are attributed to it in RunReport's per-phase breakdown, and
+  /// the phase appears as a timeline slice in exported traces. Phase names
+  /// should be the paper's own stage names ("committee-election", ...).
+  void begin_phase(std::string name);
+
   /// Records the output array and stops processing messages.
   void finish(BitVec output);
 

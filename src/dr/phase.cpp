@@ -1,0 +1,50 @@
+#include "dr/phase.hpp"
+
+#include <utility>
+
+namespace asyncdr::dr {
+
+std::size_t PhaseTracker::open_span(sim::PeerId peer, std::string name,
+                                    sim::Time now) {
+  close(peer, now);
+  spans_.push_back(PhaseSpan{peer, std::move(name), now, -1, 0, 0, 0});
+  const std::size_t index = spans_.size() - 1;
+  open_[peer] = index;
+  return index;
+}
+
+std::size_t PhaseTracker::current(sim::PeerId peer, sim::Time now) {
+  const auto it = open_.find(peer);
+  if (it != open_.end()) return it->second;
+  return open_span(peer, kUnphased, now);
+}
+
+void PhaseTracker::begin(sim::PeerId peer, std::string name, sim::Time now) {
+  open_span(peer, std::move(name), now);
+}
+
+void PhaseTracker::on_query(sim::PeerId peer, std::uint64_t bits,
+                            sim::Time now) {
+  spans_[current(peer, now)].bits_queried += bits;
+}
+
+void PhaseTracker::on_send(sim::PeerId peer, std::uint64_t units,
+                           sim::Time now) {
+  PhaseSpan& span = spans_[current(peer, now)];
+  span.unit_messages += units;
+  span.payload_messages += 1;
+}
+
+void PhaseTracker::close(sim::PeerId peer, sim::Time at) {
+  const auto it = open_.find(peer);
+  if (it == open_.end()) return;
+  spans_[it->second].end = at;
+  open_.erase(it);
+}
+
+void PhaseTracker::close_all(sim::Time at) {
+  for (const auto& [peer, index] : open_) spans_[index].end = at;
+  open_.clear();
+}
+
+}  // namespace asyncdr::dr

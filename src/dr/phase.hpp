@@ -1,0 +1,67 @@
+// Per-peer protocol phase accounting. A protocol peer annotates its
+// paper-level phases via dr::Peer::begin_phase("committee-election"); the
+// tracker attributes every queried bit and every sent unit message to the
+// acting peer's current phase, giving RunReport its per-phase Q/T/M
+// breakdown and the exporters their per-peer timeline slices.
+//
+// Activity before the first annotation (e.g. a message handler running
+// ahead of the peer's adversary-chosen start time) lands in an implicit
+// "unphased" span, so phase sums always reconcile with the run's aggregate
+// accounting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace asyncdr::dr {
+
+/// One contiguous stretch of a peer's execution under one phase name.
+struct PhaseSpan {
+  sim::PeerId peer = sim::kNoPeer;
+  std::string name;
+  sim::Time begin = 0;
+  sim::Time end = -1;  ///< negative while the span is still open
+  std::uint64_t bits_queried = 0;
+  std::uint64_t unit_messages = 0;
+  std::uint64_t payload_messages = 0;
+
+  sim::Time span() const { return end < begin ? 0 : end - begin; }
+};
+
+/// Name of the implicit span that absorbs unannotated activity.
+inline constexpr const char* kUnphased = "unphased";
+
+/// Records phase spans and attributes query/message costs to them.
+class PhaseTracker {
+ public:
+  /// Opens a new span for `peer`, closing its previous one at `now`.
+  void begin(sim::PeerId peer, std::string name, sim::Time now);
+
+  /// Attributes `bits` queried by `peer` to its current span (opening an
+  /// implicit kUnphased span if none is open).
+  void on_query(sim::PeerId peer, std::uint64_t bits, sim::Time now);
+
+  /// Attributes one payload of `units` unit messages sent by `peer`.
+  void on_send(sim::PeerId peer, std::uint64_t units, sim::Time now);
+
+  /// Closes `peer`'s open span (no-op if none) — called at termination.
+  void close(sim::PeerId peer, sim::Time at);
+
+  /// Closes every still-open span — called when the run ends.
+  void close_all(sim::Time at);
+
+  const std::vector<PhaseSpan>& spans() const { return spans_; }
+
+ private:
+  std::size_t open_span(sim::PeerId peer, std::string name, sim::Time now);
+  std::size_t current(sim::PeerId peer, sim::Time now);
+
+  std::vector<PhaseSpan> spans_;
+  std::unordered_map<sim::PeerId, std::size_t> open_;  // peer -> span index
+};
+
+}  // namespace asyncdr::dr

@@ -89,10 +89,12 @@ void Source::set_overlay(sim::PeerId peer, BitVec fake) {
 void Source::reset_accounting() {
   for (auto& c : counts_) c = 0;
   for (auto& s : indices_) s = IntervalSet{};
+  total_bits_served_ = 0;
 }
 
 void Source::account(sim::PeerId by, std::size_t lo, std::size_t hi) {
   counts_[by] += hi - lo;
+  total_bits_served_ += hi - lo;
   if (record_indices_) indices_[by].insert(lo, hi);
   if (query_observer_) query_observer_(by, hi - lo);
 }

@@ -41,6 +41,11 @@ class Source {
   /// Bits queried so far by one peer.
   std::uint64_t bits_queried(sim::PeerId by) const;
 
+  /// Total bits the source has served across all peers — maintained as its
+  /// own counter (not derived from the per-peer array) so consistency tests
+  /// can cross-check the two accounting paths.
+  std::uint64_t total_bits_served() const { return total_bits_served_; }
+
   /// When enabled, records *which* indices each peer queried — used by the
   /// lower-bound adversary to find a bit the victim never looked at.
   void enable_index_recording(bool on) { record_indices_ = on; }
@@ -76,6 +81,7 @@ class Source {
 
   BitVec data_;
   std::vector<std::uint64_t> counts_;
+  std::uint64_t total_bits_served_ = 0;
   std::vector<IntervalSet> indices_;
   std::map<sim::PeerId, BitVec> overlays_;
   QueryObserver query_observer_;

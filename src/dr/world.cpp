@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/table.hpp"
 
 namespace asyncdr::dr {
 
@@ -39,6 +40,10 @@ std::string StallReport::to_string() const {
     os << "  ... (" << (busy_links.size() - kMaxLinkLines)
        << " more busy links)\n";
   }
+  if (trace_cutoff >= 0) {
+    os << "  trace visibility ended at t=" << trace_cutoff
+       << " (the bounded trace overflowed; later events were not recorded)\n";
+  }
   return os.str();
 }
 
@@ -63,6 +68,26 @@ std::string RunReport::to_string() const {
   return os.str();
 }
 
+std::string RunReport::phase_table() const {
+  Table table({"phase", "peers", "Q (bits)", "M (units)", "payloads",
+               "T (max span)"});
+  for (const PhaseBreakdown& p : phases) {
+    table.add(p.name, p.peers, p.bits_queried, p.unit_messages,
+              p.payload_messages, p.max_span);
+  }
+  return table.render();
+}
+
+std::string RunReport::peer_phase_table() const {
+  Table table({"peer", "phase", "Q (bits)", "M (units)", "payloads", "begin",
+               "end"});
+  for (const PhaseSpan& s : phase_spans) {
+    table.add(s.peer, s.name, s.bits_queried, s.unit_messages,
+              s.payload_messages, s.begin, s.end);
+  }
+  return table.render();
+}
+
 World::World(Config cfg, BitVec input)
     : cfg_(cfg),
       net_(engine_, cfg.k, cfg.message_bits),
@@ -72,6 +97,15 @@ World::World(Config cfg, BitVec input)
       start_times_(cfg.k, 0) {
   cfg_.validate();
   ASYNCDR_EXPECTS_MSG(source_.n() == cfg_.n, "input length must equal cfg.n");
+  // The world owns the network's single observer slot and the source's
+  // single query-observer slot; it fans events out to the phase tracker,
+  // the trace (if enabled), and any observers/listeners added later.
+  net_.set_observer(this);
+  source_.set_query_observer([this](sim::PeerId peer, std::size_t bits) {
+    phase_tracker_.on_query(peer, bits, engine_.now());
+    if (trace_) trace_->record_query(engine_.now(), peer, bits);
+    for (const QueryListener& listener : query_listeners_) listener(peer, bits);
+  });
 }
 
 void World::set_peer(sim::PeerId id, std::unique_ptr<Peer> peer) {
@@ -143,12 +177,39 @@ sim::Trace& World::enable_trace(std::size_t capacity) {
   ASYNCDR_EXPECTS_MSG(!ran_, "enable_trace must precede run()");
   if (!trace_) {
     trace_ = std::make_unique<sim::Trace>(engine_, capacity);
-    net_.set_observer(trace_.get());
-    source_.set_query_observer([this](sim::PeerId peer, std::size_t bits) {
-      trace_->record_query(engine_.now(), peer, bits);
-    });
   }
   return *trace_;
+}
+
+void World::add_observer(sim::NetworkObserver* observer) {
+  ASYNCDR_EXPECTS(observer != nullptr);
+  observers_.push_back(observer);
+}
+
+void World::add_query_listener(QueryListener listener) {
+  ASYNCDR_EXPECTS(listener != nullptr);
+  query_listeners_.push_back(std::move(listener));
+}
+
+void World::on_send(const sim::Message& msg, std::size_t unit_messages) {
+  phase_tracker_.on_send(msg.from, unit_messages, engine_.now());
+  if (trace_) trace_->on_send(msg, unit_messages);
+  for (sim::NetworkObserver* o : observers_) o->on_send(msg, unit_messages);
+}
+
+void World::on_deliver(const sim::Message& msg) {
+  if (trace_) trace_->on_deliver(msg);
+  for (sim::NetworkObserver* o : observers_) o->on_deliver(msg);
+}
+
+void World::on_drop(const sim::Message& msg) {
+  if (trace_) trace_->on_drop(msg);
+  for (sim::NetworkObserver* o : observers_) o->on_drop(msg);
+}
+
+void World::begin_phase(sim::PeerId peer, std::string name) {
+  if (trace_) trace_->record_note(engine_.now(), peer, "phase: " + name);
+  phase_tracker_.begin(peer, std::move(name), engine_.now());
 }
 
 RunReport World::run(std::size_t max_events) {
@@ -196,6 +257,32 @@ RunReport World::run(std::size_t max_events) {
     report.message_complexity += net_.sent_units(id);
     report.payload_messages += net_.sent_payloads(id);
   }
+  phase_tracker_.close_all(engine_.now());
+  report.phase_spans = phase_tracker_.spans();
+  // Aggregate the nonfaulty peers' spans into the per-phase breakdown, in
+  // first-entry order. Per-peer time in a phase sums that peer's spans of
+  // the same name; the breakdown's T is the max over peers.
+  {
+    std::map<std::pair<std::string, sim::PeerId>, sim::Time> peer_time;
+    for (const PhaseSpan& span : report.phase_spans) {
+      if (faulty_[span.peer]) continue;
+      auto it = std::find_if(report.phases.begin(), report.phases.end(),
+                             [&](const RunReport::PhaseBreakdown& p) {
+                               return p.name == span.name;
+                             });
+      if (it == report.phases.end()) {
+        report.phases.push_back(RunReport::PhaseBreakdown{span.name});
+        it = report.phases.end() - 1;
+      }
+      it->bits_queried += span.bits_queried;
+      it->unit_messages += span.unit_messages;
+      it->payload_messages += span.payload_messages;
+      auto [t, fresh] = peer_time.try_emplace({span.name, span.peer}, 0);
+      if (fresh) ++it->peers;
+      t->second += span.span();
+      it->max_span = std::max(it->max_span, t->second);
+    }
+  }
   if (report.budget_exhausted || !report.all_terminated) {
     report.stall = build_stall_report(report.budget_exhausted).to_string();
   }
@@ -230,6 +317,9 @@ StallReport World::build_stall_report(bool budget_exhausted) const {
       const std::uint32_t inflight = net_.in_flight(from, to);
       if (inflight > 0) stall.busy_links.push_back({from, to, inflight});
     }
+  }
+  if (trace_ && trace_->dropped_events() > 0) {
+    stall.trace_cutoff = trace_->first_dropped_at();
   }
   return stall;
 }

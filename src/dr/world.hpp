@@ -4,6 +4,7 @@
 // complexity measures and a correctness verdict.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -12,6 +13,7 @@
 #include "common/bitvec.hpp"
 #include "dr/config.hpp"
 #include "dr/peer.hpp"
+#include "dr/phase.hpp"
 #include "dr/source.hpp"
 #include "sim/engine.hpp"
 #include "sim/network.hpp"
@@ -44,6 +46,10 @@ struct StallReport {
   std::vector<PeerState> stuck_peers;    ///< unterminated nonfaulty peers
   std::vector<LinkState> busy_links;     ///< links with in-flight messages
   std::size_t crashed_peers = 0;
+  /// Virtual time at which the bounded trace overflowed and stopped
+  /// recording; negative when tracing was off or nothing was dropped. Past
+  /// this instant the per-peer last_event lines say nothing.
+  sim::Time trace_cutoff = -1;
 
   std::string to_string() const;
 };
@@ -71,6 +77,29 @@ struct RunReport {
   /// consumers like the oracle aggregation read downloaded arrays here.
   std::vector<BitVec> outputs;
 
+  /// One protocol phase aggregated over the nonfaulty peers. Phases appear
+  /// in first-entry order; summing bits/units across phases reproduces
+  /// total_queries / message_complexity exactly (the implicit "unphased"
+  /// span catches unannotated activity).
+  struct PhaseBreakdown {
+    std::string name;
+    std::uint64_t bits_queried = 0;      ///< Q contribution (sum, nonfaulty)
+    std::uint64_t unit_messages = 0;     ///< M contribution (sum, nonfaulty)
+    std::uint64_t payload_messages = 0;
+    sim::Time max_span = 0;  ///< T contribution: max per-peer time in phase
+    std::size_t peers = 0;   ///< nonfaulty peers that entered the phase
+  };
+  std::vector<PhaseBreakdown> phases;
+
+  /// Raw per-peer phase spans (all peers, faulty included) in open order —
+  /// the exporters' timeline slices.
+  std::vector<PhaseSpan> phase_spans;
+
+  /// Aligned per-phase Q/T/M table (one row per phase).
+  std::string phase_table() const;
+  /// Aligned per-peer breakdown (one row per phase span).
+  std::string peer_phase_table() const;
+
   /// Rendered StallReport, filled iff the run stalled (budget exhausted or
   /// unterminated nonfaulty peers); empty on clean runs.
   std::string stall;
@@ -79,7 +108,7 @@ struct RunReport {
 };
 
 /// One DR-model instance.
-class World {
+class World : private sim::NetworkObserver {
  public:
   /// input.size() must equal cfg.n.
   World(Config cfg, BitVec input);
@@ -117,6 +146,23 @@ class World {
   /// The trace if enabled, else nullptr.
   sim::Trace* trace() { return trace_.get(); }
 
+  /// Registers an additional network observer (metrics collectors). The
+  /// world multiplexes its single network observer slot across the trace,
+  /// the phase tracker, and every observer added here. Not owned; must
+  /// outlive the run.
+  void add_observer(sim::NetworkObserver* observer);
+
+  /// Registers a callback invoked on every accounted source-query batch
+  /// (peer, bits) — the metrics-side twin of add_observer.
+  using QueryListener = std::function<void(sim::PeerId, std::size_t)>;
+  void add_query_listener(QueryListener listener);
+
+  /// Phase spans recorded so far (complete after run(); also copied into
+  /// RunReport::phase_spans).
+  const std::vector<PhaseSpan>& phase_spans() const {
+    return phase_tracker_.spans();
+  }
+
   /// Runs to quiescence (or the event budget) and reports. If the run
   /// stalls, the report's `stall` field carries the rendered StallReport.
   RunReport run(std::size_t max_events = sim::Engine::kDefaultEventBudget);
@@ -132,6 +178,15 @@ class World {
  private:
   void install_send_hook_if_needed();
 
+  // sim::NetworkObserver — the world owns the network's observer slot and
+  // fans events out to the phase tracker, the trace, and added observers.
+  void on_send(const sim::Message& msg, std::size_t unit_messages) override;
+  void on_deliver(const sim::Message& msg) override;
+  void on_drop(const sim::Message& msg) override;
+
+  /// Peer::begin_phase lands here.
+  void begin_phase(sim::PeerId peer, std::string name);
+
   friend class Peer;
 
   Config cfg_;
@@ -139,6 +194,9 @@ class World {
   sim::Network net_;
   Source source_;
   std::unique_ptr<sim::Trace> trace_;
+  std::vector<sim::NetworkObserver*> observers_;
+  std::vector<QueryListener> query_listeners_;
+  PhaseTracker phase_tracker_;
   std::vector<std::unique_ptr<Peer>> peers_;
   std::vector<bool> faulty_;
   std::vector<sim::Time> start_times_;

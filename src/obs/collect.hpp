@@ -1,0 +1,54 @@
+// Live metrics collection for one dr::World run: a NetworkObserver plus a
+// source-query listener that populate a MetricsRegistry with the standard
+// series (query bits, payload sizes, per-link latency, event-queue depth).
+// Attach before run(), finalize(report) after; snapshot via the registry.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dr/world.hpp"
+#include "obs/metrics.hpp"
+#include "sim/network.hpp"
+
+namespace asyncdr::obs {
+
+/// Collects the standard run metrics into a registry it does not own. The
+/// collector must outlive the world's run() call.
+class RunMetricsCollector final : public sim::NetworkObserver {
+ public:
+  explicit RunMetricsCollector(MetricsRegistry& registry)
+      : registry_(registry) {}
+
+  /// Registers with the world (network observer + query listener) and
+  /// pre-creates the per-peer series so hot paths are pointer bumps.
+  void attach(dr::World& world);
+
+  // sim::NetworkObserver
+  void on_send(const sim::Message& msg, std::size_t unit_messages) override;
+  void on_deliver(const sim::Message& msg) override;
+  void on_drop(const sim::Message& msg) override;
+
+  /// Folds the run's headline measures (Q/T/M, verdicts) into gauges. Call
+  /// once after run().
+  void finalize(const dr::RunReport& report);
+
+ private:
+  void sample_queue_depth();
+
+  MetricsRegistry& registry_;
+  dr::World* world_ = nullptr;
+
+  // Cached series (valid for the registry's lifetime).
+  Histogram* query_bits_ = nullptr;
+  Histogram* payload_bits_ = nullptr;
+  Histogram* queue_depth_ = nullptr;
+  std::vector<Counter*> peer_query_bits_;
+  std::vector<Counter*> peer_queries_;
+  std::vector<Counter*> peer_unit_messages_;
+  std::vector<Counter*> peer_payload_messages_;
+  std::vector<Histogram*> link_latency_;  // k*k, indexed from * k + to
+  Counter* dropped_ = nullptr;
+};
+
+}  // namespace asyncdr::obs

@@ -1,0 +1,160 @@
+#include "obs/export.hpp"
+
+#include <string>
+
+namespace asyncdr::obs {
+
+namespace {
+
+const char* kind_name(sim::TraceEvent::Kind kind) {
+  using Kind = sim::TraceEvent::Kind;
+  switch (kind) {
+    case Kind::kSend: return "send";
+    case Kind::kDeliver: return "deliver";
+    case Kind::kDrop: return "drop";
+    case Kind::kCrash: return "crash";
+    case Kind::kQuery: return "query";
+    case Kind::kTerminate: return "terminate";
+    case Kind::kNote: return "note";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+Json trace_event_json(const sim::TraceEvent& ev) {
+  Json obj = Json::object();
+  obj["kind"] = kind_name(ev.kind);
+  obj["t"] = ev.at;
+  if (ev.from != sim::kNoPeer) obj["from"] = ev.from;
+  if (ev.to != sim::kNoPeer) obj["to"] = ev.to;
+  if (!ev.payload_type.empty()) obj["payload"] = ev.payload_type;
+  if (ev.detail_a != 0) obj["detail"] = ev.detail_a;
+  if (!ev.note.empty()) obj["note"] = ev.note;
+  return obj;
+}
+
+std::string to_jsonl(const sim::Trace& trace) {
+  std::string out;
+  for (const sim::TraceEvent& ev : trace.events()) {
+    out += trace_event_json(ev).dump();
+    out.push_back('\n');
+  }
+  if (trace.dropped_events() > 0) {
+    Json meta = Json::object();
+    meta["kind"] = "meta";
+    meta["dropped_events"] = static_cast<std::uint64_t>(trace.dropped_events());
+    meta["first_dropped_at"] = trace.first_dropped_at();
+    out += meta.dump();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+namespace {
+
+Json base_event(const std::string& name, const char* ph, double ts,
+                std::size_t tid) {
+  Json ev = Json::object();
+  ev["name"] = name;
+  ev["ph"] = ph;
+  ev["ts"] = ts;
+  ev["pid"] = 0;
+  ev["tid"] = tid;
+  return ev;
+}
+
+Json instant(const std::string& name, double ts, std::size_t tid) {
+  Json ev = base_event(name, "i", ts, tid);
+  ev["s"] = "t";  // thread-scoped instant
+  return ev;
+}
+
+}  // namespace
+
+Json to_perfetto(const sim::Trace& trace,
+                 const std::vector<dr::PhaseSpan>& phase_spans, std::size_t k,
+                 const PerfettoOptions& opts) {
+  const double scale = opts.us_per_time_unit;
+  Json events = Json::array();
+
+  // Track names: one "thread" per peer under a single process.
+  {
+    Json proc = Json::object();
+    proc["name"] = "process_name";
+    proc["ph"] = "M";
+    proc["pid"] = 0;
+    Json args = Json::object();
+    args["name"] = "asyncdr run";
+    proc["args"] = std::move(args);
+    events.push_back(std::move(proc));
+  }
+  for (std::size_t p = 0; p < k; ++p) {
+    Json thread = Json::object();
+    thread["name"] = "thread_name";
+    thread["ph"] = "M";
+    thread["pid"] = 0;
+    thread["tid"] = p;
+    Json args = Json::object();
+    args["name"] = "peer " + std::to_string(p);
+    thread["args"] = std::move(args);
+    events.push_back(std::move(thread));
+  }
+
+  // Phase spans as complete slices.
+  for (const dr::PhaseSpan& span : phase_spans) {
+    if (span.peer == sim::kNoPeer) continue;
+    Json ev = base_event(span.name, "X", span.begin * scale, span.peer);
+    const sim::Time end = span.end < span.begin ? span.begin : span.end;
+    ev["dur"] = (end - span.begin) * scale;
+    Json args = Json::object();
+    args["bits_queried"] = span.bits_queried;
+    args["unit_messages"] = span.unit_messages;
+    args["payload_messages"] = span.payload_messages;
+    ev["args"] = std::move(args);
+    events.push_back(std::move(ev));
+  }
+
+  // Instants from the trace.
+  using Kind = sim::TraceEvent::Kind;
+  for (const sim::TraceEvent& ev : trace.events()) {
+    switch (ev.kind) {
+      case Kind::kQuery: {
+        Json q = instant("query " + std::to_string(ev.detail_a) + "b",
+                         ev.at * scale, ev.from);
+        Json args = Json::object();
+        args["bits"] = ev.detail_a;
+        q["args"] = std::move(args);
+        events.push_back(std::move(q));
+        break;
+      }
+      case Kind::kCrash:
+        events.push_back(instant("crash", ev.at * scale, ev.from));
+        break;
+      case Kind::kTerminate:
+        events.push_back(instant("terminate", ev.at * scale, ev.from));
+        break;
+      case Kind::kSend:
+      case Kind::kDeliver:
+        if (opts.include_messages) {
+          const char* name = ev.kind == Kind::kSend ? "send " : "recv ";
+          const std::size_t tid =
+              ev.kind == Kind::kSend ? ev.from : ev.to;
+          if (tid == sim::kNoPeer) break;
+          events.push_back(
+              instant(name + ev.payload_type, ev.at * scale, tid));
+        }
+        break;
+      case Kind::kDrop:
+      case Kind::kNote:
+        break;  // notes already show up as phase slices
+    }
+  }
+
+  Json doc = Json::object();
+  doc["traceEvents"] = std::move(events);
+  doc["displayTimeUnit"] = "ms";
+  return doc;
+}
+
+}  // namespace asyncdr::obs

@@ -1,0 +1,43 @@
+// Structured exporters over sim::Trace and the phase spans: a JSONL event
+// stream (one JSON object per line, grep/jq-friendly) and a Chrome
+// trace-event JSON file loadable in Perfetto / chrome://tracing with one
+// track per peer, phase slices, and query/crash/terminate instants.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dr/phase.hpp"
+#include "obs/json.hpp"
+#include "sim/trace.hpp"
+
+namespace asyncdr::obs {
+
+/// One trace event as a JSON object: {"kind", "t", "from", "to", "payload",
+/// "detail", "note"} with absent-as-null peers omitted.
+Json trace_event_json(const sim::TraceEvent& ev);
+
+/// The whole trace, one event per line, newline-terminated. A trailing
+/// meta line reports overflow when events were dropped.
+std::string to_jsonl(const sim::Trace& trace);
+
+/// Chrome trace-event export options.
+struct PerfettoOptions {
+  /// Microseconds per virtual time unit. The default maps 1 virtual time
+  /// unit (the paper's max message latency) to 1ms of timeline.
+  double us_per_time_unit = 1000.0;
+  /// Include per-message send/deliver instants (can dwarf the phase slices
+  /// on large runs; off keeps only queries, crashes and terminations).
+  bool include_messages = false;
+};
+
+/// Builds the Chrome trace-event document: {"traceEvents": [...],
+/// "displayTimeUnit": "ms"}. Tracks: pid 0, tid = peer id (named via
+/// thread_name metadata); phase spans become complete ("X") slices;
+/// queries, crashes and terminations become thread-scoped instants ("i").
+Json to_perfetto(const sim::Trace& trace,
+                 const std::vector<dr::PhaseSpan>& phase_spans, std::size_t k,
+                 const PerfettoOptions& opts = {});
+
+}  // namespace asyncdr::obs

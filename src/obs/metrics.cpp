@@ -1,0 +1,139 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace asyncdr::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  ASYNCDR_EXPECTS_MSG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                          std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                              bounds_.end(),
+                      "histogram bounds must be strictly increasing");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  ++count_;
+  sum_ += v;
+}
+
+std::vector<double> Histogram::pow2_bounds(std::size_t buckets) {
+  std::vector<double> bounds;
+  bounds.reserve(buckets);
+  double b = 1;
+  for (std::size_t i = 0; i < buckets; ++i, b *= 2) bounds.push_back(b);
+  return bounds;
+}
+
+MetricsRegistry::Key MetricsRegistry::make_key(const std::string& name,
+                                               const Labels& labels) {
+  std::string encoded;
+  for (const auto& [k, v] : labels) {
+    encoded += k;
+    encoded.push_back('=');
+    encoded += v;
+    encoded.push_back(',');
+  }
+  return {name, encoded};
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  Series& s = series_[make_key(name, labels)];
+  if (!s.counter) {
+    ASYNCDR_EXPECTS_MSG(!s.gauge && !s.histogram,
+                        "metric series registered with another type: " + name);
+    s.labels = labels;
+    s.counter = std::make_unique<Counter>();
+  }
+  return *s.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  Series& s = series_[make_key(name, labels)];
+  if (!s.gauge) {
+    ASYNCDR_EXPECTS_MSG(!s.counter && !s.histogram,
+                        "metric series registered with another type: " + name);
+    s.labels = labels;
+    s.gauge = std::make_unique<Gauge>();
+  }
+  return *s.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const Labels& labels) {
+  Series& s = series_[make_key(name, labels)];
+  if (!s.histogram) {
+    ASYNCDR_EXPECTS_MSG(!s.counter && !s.gauge,
+                        "metric series registered with another type: " + name);
+    s.labels = labels;
+    s.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *s.histogram;
+}
+
+namespace {
+
+Json labels_json(const Labels& labels) {
+  Json obj = Json::object();
+  for (const auto& [k, v] : labels) obj[k] = v;
+  return obj;
+}
+
+}  // namespace
+
+Json MetricsRegistry::snapshot() const {
+  Json counters = Json::array();
+  Json gauges = Json::array();
+  Json histograms = Json::array();
+  for (const auto& [key, s] : series_) {
+    Json entry = Json::object();
+    entry["name"] = key.first;
+    entry["labels"] = labels_json(s.labels);
+    if (s.counter) {
+      entry["value"] = s.counter->value();
+      counters.push_back(std::move(entry));
+    } else if (s.gauge) {
+      entry["value"] = s.gauge->value();
+      gauges.push_back(std::move(entry));
+    } else if (s.histogram) {
+      const Histogram& h = *s.histogram;
+      entry["count"] = h.count();
+      entry["sum"] = h.sum();
+      entry["min"] = h.min();
+      entry["max"] = h.max();
+      Json buckets = Json::array();
+      for (std::size_t i = 0; i < h.bucket_counts().size(); ++i) {
+        Json b = Json::object();
+        if (i < h.bounds().size()) {
+          b["le"] = h.bounds()[i];
+        } else {
+          b["le"] = "inf";
+        }
+        b["count"] = h.bucket_counts()[i];
+        buckets.push_back(std::move(b));
+      }
+      entry["buckets"] = std::move(buckets);
+      histograms.push_back(std::move(entry));
+    }
+  }
+  Json out = Json::object();
+  out["schema"] = "asyncdr-metrics-v1";
+  out["counters"] = std::move(counters);
+  out["gauges"] = std::move(gauges);
+  out["histograms"] = std::move(histograms);
+  return out;
+}
+
+std::string MetricsRegistry::to_json_string(int indent) const {
+  return snapshot().dump(indent);
+}
+
+}  // namespace asyncdr::obs

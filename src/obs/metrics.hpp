@@ -1,0 +1,102 @@
+// Labeled metrics for simulation runs: counters, gauges and fixed-bucket
+// histograms, snapshot-able to JSON. Naming convention (see DESIGN.md):
+// `<subsystem>_<quantity>_<unit>` with `_total` for monotone counters, e.g.
+// `source_query_bits_total{peer="3"}` or `net_link_latency{from="0",to="1"}`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace asyncdr::obs {
+
+/// Label set attached to one metric series, e.g. {{"peer", "3"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotone counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-value gauge.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Histogram over fixed upper-bound buckets (non-cumulative counts; the
+/// final implicit bucket catches everything above the last bound).
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing upper bounds.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }  ///< 0 when empty
+  double max() const { return max_; }  ///< 0 when empty
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+  /// Power-of-two bounds 1, 2, 4, ... (`buckets` of them) — the default
+  /// shape for bit/byte size distributions.
+  static std::vector<double> pow2_bounds(std::size_t buckets);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Registry of named metric series. Lookup creates the series on first use;
+/// a (name, labels) pair always maps to the same object, whose reference
+/// stays valid for the registry's lifetime (callers cache the pointer on
+/// hot paths).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  /// `bounds` is used only on first creation of the series.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const Labels& labels = {});
+
+  /// Full dump: {"schema": "asyncdr-metrics-v1", "counters": [...],
+  /// "gauges": [...], "histograms": [...]}, series sorted by (name, labels).
+  Json snapshot() const;
+  std::string to_json_string(int indent = 2) const;
+
+ private:
+  using Key = std::pair<std::string, std::string>;  // (name, encoded labels)
+  static Key make_key(const std::string& name, const Labels& labels);
+
+  struct Series {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  std::map<Key, Series> series_;
+};
+
+}  // namespace asyncdr::obs

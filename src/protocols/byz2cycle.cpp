@@ -10,9 +10,11 @@ TwoCyclePeer::TwoCyclePeer(RandParams params) : params_(params) {}
 
 void TwoCyclePeer::on_start() {
   if (params_.naive_fallback) {
+    begin_phase("bulk-download");
     finish(query_range(0, n()));
     return;
   }
+  begin_phase("cycle1:sample-report");
   layout_ = std::make_unique<SegmentLayout>(n(), params_.segments);
   bank_ = std::make_unique<StringBank>(params_.segments);
 
@@ -48,6 +50,7 @@ void TwoCyclePeer::try_decide() {
   const std::size_t quorum = k() - world().config().max_faulty();
   if (reporters_.size() < quorum) return;
 
+  begin_phase("cycle2:decide");
   BitVec out(n());
   for (std::size_t seg = 0; seg < params_.segments; ++seg) {
     const Interval b = layout_->bounds(seg);

@@ -23,12 +23,14 @@ void MultiCyclePeer::init_structures() {
 
 void MultiCyclePeer::on_start() {
   if (params_.naive_fallback) {
+    begin_phase("bulk-download");
     finish(query_range(0, n()));
     return;
   }
   init_structures();
 
   // Cycle 1 = Protocol 4's first cycle: pick, query in full, report.
+  begin_phase("cycle-1");
   cycle_ = 1;
   my_pick_ = static_cast<std::size_t>(rng().below(layouts_[0].count()));
   const Interval b = layouts_[0].bounds(my_pick_);
@@ -68,6 +70,7 @@ void MultiCyclePeer::try_advance() {
 
 void MultiCyclePeer::start_cycle(std::size_t j) {
   ASYNCDR_INVARIANT(j >= 2 && j <= total_cycles_);
+  begin_phase("cycle-" + std::to_string(j));
   const SegmentLayout& layout = layouts_[j - 1];
   const SegmentLayout& finer = layouts_[j - 2];
 

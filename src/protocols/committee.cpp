@@ -42,6 +42,7 @@ std::vector<sim::PeerId> CommitteeAssignment::members_of(std::size_t bit) const 
 
 void CommitteePeer::on_start() {
   init();
+  begin_phase("committee-query+vote");
   // Query every bit of my committees; my own queries are ground truth, so
   // those bits decide immediately.
   const std::vector<std::size_t> mine = assignment_->bits_of(id());
@@ -51,6 +52,7 @@ void CommitteePeer::on_start() {
   }
   broadcast(std::make_shared<committee::Votes>(values));
   votes_sent_ = true;
+  begin_phase("vote-collection");
   maybe_finish();
 }
 

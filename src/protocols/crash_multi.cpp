@@ -136,6 +136,7 @@ void CrashMultiPeer::ensure_init() {
 
 void CrashMultiPeer::start_phase(std::size_t r) {
   phase_ = r;
+  begin_phase("round-" + std::to_string(r));
   const std::size_t unknown_count = n() - known_.popcount();
   if (unknown_count <= direct_threshold() || r > max_phases()) {
     complete_now();
@@ -312,6 +313,7 @@ void CrashMultiPeer::advance_phase() {
 
 void CrashMultiPeer::complete_now() {
   if (progress_ == Progress::kDone) return;
+  begin_phase("complete");
   // Query whatever is still unknown directly.
   BitVec rest(n(), true);
   rest.andnot_with(known_);

@@ -14,6 +14,7 @@ using crash1::Stage2Resp;
 void CrashOnePeer::on_start() {
   ASYNCDR_EXPECTS_MSG(k() >= 3, "Algorithm 1 needs k >= 3");
   ensure_init();
+  begin_phase("p1:own-block");
   start_phase1();
 }
 
@@ -100,6 +101,7 @@ void CrashOnePeer::try_advance() {
                                              layout.bounds(unheard).hi);
         needed.subtract(known_);
         progress_ = Progress::kPhase1Wait2;
+        begin_phase("p1:missing-request");
         broadcast(std::make_shared<Stage2Req>(1, unheard, needed));
         answer_pending_requests();
         try_advance();
@@ -147,6 +149,7 @@ void CrashOnePeer::enter_phase2() {
   ASYNCDR_INVARIANT(progress_ == Progress::kPhase1Wait1 ||
                     progress_ == Progress::kPhase1Wait2);
   progress_ = Progress::kPhase2;
+  begin_phase("p2:reassign");
   answer_pending_requests();
 
   if (known_.count() == n()) {

@@ -2,7 +2,10 @@
 
 namespace asyncdr::proto {
 
-void NaivePeer::on_start() { finish(query_range(0, n())); }
+void NaivePeer::on_start() {
+  begin_phase("bulk-download");
+  finish(query_range(0, n()));
+}
 
 void NaivePeer::on_message(sim::PeerId, const sim::Payload&) {
   // The naive protocol is non-interactive.

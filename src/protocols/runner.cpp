@@ -53,7 +53,10 @@ dr::RunReport run_scenario(const Scenario& scenario) {
   scenario.crashes.apply(world);
   for (const auto& [id, t] : scenario.start_times) world.set_start_time(id, t);
 
-  return world.run(scenario.max_events);
+  if (scenario.instrument) scenario.instrument(world);
+  dr::RunReport report = world.run(scenario.max_events);
+  if (scenario.post_run) scenario.post_run(world, report);
+  return report;
 }
 
 PeerFactory make_naive() {

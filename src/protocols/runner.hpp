@@ -55,6 +55,15 @@ struct Scenario {
   std::map<sim::PeerId, sim::Time> start_times;
 
   std::size_t max_events = sim::Engine::kDefaultEventBudget;
+
+  /// Instrumentation hook: called on the fully assembled world (peers,
+  /// crashes, start times installed) just before run(). Enable tracing or
+  /// attach metrics collectors here.
+  std::function<void(dr::World&)> instrument;
+  /// Called with the world still alive and the finished report — the only
+  /// way to read world-owned state (the trace, source counters) through a
+  /// run_scenario call.
+  std::function<void(dr::World&, const dr::RunReport&)> post_run;
 };
 
 /// Deterministic pseudo-random input array.

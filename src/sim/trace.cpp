@@ -89,32 +89,51 @@ std::size_t Trace::count(TraceEvent::Kind kind) const {
   return total;
 }
 
+namespace {
+
+/// Whether `peer` took part in `ev`. A kNoPeer recipient means "no
+/// recipient" (queries, crashes, terminations), never a match — so kQuery
+/// and kTerminate events involve exactly their acting peer.
+bool involves(const TraceEvent& ev, PeerId peer) {
+  if (peer == kNoPeer) return false;
+  return ev.from == peer || ev.to == peer;
+}
+
+}  // namespace
+
 const TraceEvent* Trace::last_event_involving(PeerId peer) const {
   for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
-    if (it->from == peer || it->to == peer) return &*it;
+    if (involves(*it, peer)) return &*it;
   }
   return nullptr;
 }
 
 std::string Trace::render(PeerId only_peer, std::size_t max_lines) const {
   std::ostringstream os;
-  std::size_t lines = 0;
+  std::size_t rendered = 0;
+  std::size_t truncated = 0;
   for (const TraceEvent& ev : events_) {
-    if (only_peer != kNoPeer && ev.from != only_peer && ev.to != only_peer) {
-      continue;
+    if (only_peer != kNoPeer && !involves(ev, only_peer)) continue;
+    if (rendered < max_lines) {
+      os << ev.to_string() << '\n';
+      ++rendered;
+    } else {
+      // Past the line budget only the count of remaining matching events is
+      // needed; no more lines are formatted.
+      ++truncated;
     }
-    if (lines++ >= max_lines) {
-      os << "... (" << size() - lines + 1 << " more events)\n";
-      break;
-    }
-    os << ev.to_string() << '\n';
   }
-  if (overflow_ > 0) os << "... (" << overflow_ << " events not recorded)\n";
+  if (truncated > 0) os << "... (" << truncated << " more events)\n";
+  if (overflow_ > 0) {
+    os << "... (" << overflow_ << " events not recorded since t="
+       << first_dropped_at_ << ")\n";
+  }
   return os.str();
 }
 
 void Trace::push(TraceEvent ev) {
   if (events_.size() >= capacity_) {
+    if (overflow_ == 0) first_dropped_at_ = ev.at;
     ++overflow_;
     return;
   }

@@ -60,6 +60,10 @@ class Trace final : public NetworkObserver {
 
   std::size_t size() const { return events_.size(); }
   std::size_t dropped_events() const { return overflow_; }
+  /// Virtual time of the first event the capacity cap dropped, or a negative
+  /// value if nothing overflowed. Stall diagnostics use this to say *when*
+  /// trace visibility ended, not just that it did.
+  Time first_dropped_at() const { return first_dropped_at_; }
   const std::vector<TraceEvent>& events() const { return events_; }
 
   /// Events satisfying a predicate (copied; traces are diagnostics).
@@ -77,7 +81,9 @@ class Trace final : public NetworkObserver {
 
   /// The most recent recorded event a peer took part in (as sender or
   /// recipient), or nullptr if it never appears. Stall diagnostics use this
-  /// to say what a stuck peer last did.
+  /// to say what a stuck peer last did. Events with no recipient (queries,
+  /// crashes, terminations carry `to == kNoPeer`) match on the actor only;
+  /// passing kNoPeer matches nothing.
   const TraceEvent* last_event_involving(PeerId peer) const;
 
   /// Renders the (optionally peer-filtered) timeline, one event per line.
@@ -90,6 +96,7 @@ class Trace final : public NetworkObserver {
   const Engine& engine_;
   std::size_t capacity_;
   std::size_t overflow_ = 0;
+  Time first_dropped_at_ = -1;
   std::vector<TraceEvent> events_;
 };
 

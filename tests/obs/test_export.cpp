@@ -1,0 +1,207 @@
+// The structured exporters: JSONL event streams (every line a valid JSON
+// object, overflow surfaced in a meta line) and the Chrome trace-event
+// (Perfetto) document, validated against the schema the viewers require —
+// name/ph/pid on every event, ts/tid on slices and instants, dur on
+// complete slices.
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "obs/json.hpp"
+#include "protocols/runner.hpp"
+
+namespace asyncdr::obs {
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    ASYNCDR_EXPECTS(nl != std::string::npos);  // newline-terminated stream
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// Runs a committee scenario with tracing enabled and hands the trace plus
+/// report to `consume` before the world is destroyed.
+template <typename Fn>
+void with_traced_committee_run(std::uint64_t seed, Fn&& consume) {
+  proto::Scenario s;
+  s.cfg = dr::Config{.n = 256, .k = 8, .beta = 0.25, .message_bits = 1024,
+                     .seed = seed};
+  s.honest = proto::make_committee();
+  s.crashes = adv::CrashPlan::silent_prefix(s.cfg.max_faulty());
+  sim::Trace* trace = nullptr;
+  s.instrument = [&](dr::World& world) { trace = &world.enable_trace(); };
+  s.post_run = [&](dr::World&, const dr::RunReport& report) {
+    ASSERT_NE(trace, nullptr);
+    consume(*trace, report);
+  };
+  const dr::RunReport report = proto::run_scenario(s);
+  ASSERT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Jsonl, EveryLineIsAValidObjectWithKindAndTime) {
+  with_traced_committee_run(21, [](const sim::Trace& trace,
+                                   const dr::RunReport&) {
+    const std::string out = to_jsonl(trace);
+    const auto lines = split_lines(out);
+    ASSERT_EQ(lines.size(), trace.events().size());  // no overflow here
+    for (const std::string& line : lines) {
+      const auto doc = Json::parse(line);
+      ASSERT_TRUE(doc.has_value()) << line;
+      const Json* kind = doc->find("kind");
+      ASSERT_NE(kind, nullptr) << line;
+      EXPECT_FALSE(kind->as_string().empty());
+      ASSERT_NE(doc->find("t"), nullptr) << line;
+    }
+  });
+}
+
+TEST(Jsonl, OverflowAppendsAMetaLineWithTheCutoff) {
+  proto::Scenario s;
+  s.cfg = dr::Config{.n = 256, .k = 8, .beta = 0.25, .message_bits = 1024,
+                     .seed = 22};
+  s.honest = proto::make_committee();
+  std::string out;
+  sim::Trace* trace = nullptr;
+  s.instrument = [&](dr::World& world) {
+    trace = &world.enable_trace(/*capacity=*/8);
+  };
+  s.post_run = [&](dr::World&, const dr::RunReport&) {
+    out = to_jsonl(*trace);
+  };
+  ASSERT_TRUE(proto::run_scenario(s).ok());
+  ASSERT_GT(trace->dropped_events(), 0u);
+
+  const auto lines = split_lines(out);
+  ASSERT_EQ(lines.size(), trace->events().size() + 1);
+  const auto meta = Json::parse(lines.back());
+  ASSERT_TRUE(meta.has_value()) << lines.back();
+  EXPECT_EQ(meta->find("kind")->as_string(), "meta");
+  EXPECT_EQ(meta->find("dropped_events")->as_int(),
+            static_cast<std::int64_t>(trace->dropped_events()));
+  EXPECT_DOUBLE_EQ(meta->find("first_dropped_at")->as_number(),
+                   trace->first_dropped_at());
+}
+
+// The acceptance gate for the Perfetto exporter: dump the document, parse
+// it back, and check the trace-event schema field by field.
+TEST(Perfetto, DocumentSatisfiesTheTraceEventSchema) {
+  with_traced_committee_run(23, [](const sim::Trace& trace,
+                                   const dr::RunReport& report) {
+    const Json doc =
+        to_perfetto(trace, report.phase_spans, /*k=*/8, PerfettoOptions{});
+    const auto parsed = Json::parse(doc.dump(1));
+    ASSERT_TRUE(parsed.has_value());
+
+    EXPECT_EQ(parsed->find("displayTimeUnit")->as_string(), "ms");
+    const Json* events = parsed->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_GT(events->size(), 0u);
+
+    std::size_t slices = 0, instants = 0, metadata = 0;
+    bool saw_phase_slice = false, saw_query = false, saw_terminate = false;
+    for (std::size_t i = 0; i < events->size(); ++i) {
+      const Json& ev = events->at(i);
+      ASSERT_NE(ev.find("name"), nullptr) << ev.dump();
+      ASSERT_NE(ev.find("ph"), nullptr) << ev.dump();
+      ASSERT_NE(ev.find("pid"), nullptr) << ev.dump();
+      const std::string ph = ev.find("ph")->as_string();
+      if (ph == "M") {
+        ++metadata;
+        continue;
+      }
+      // Timeline events need a timestamp and a track.
+      ASSERT_NE(ev.find("ts"), nullptr) << ev.dump();
+      ASSERT_NE(ev.find("tid"), nullptr) << ev.dump();
+      EXPECT_GE(ev.find("ts")->as_number(), 0.0);
+      if (ph == "X") {
+        ++slices;
+        ASSERT_NE(ev.find("dur"), nullptr) << ev.dump();
+        EXPECT_GE(ev.find("dur")->as_number(), 0.0);
+        if (ev.find("name")->as_string() == "committee-query+vote") {
+          saw_phase_slice = true;
+        }
+      } else if (ph == "i") {
+        ++instants;
+        ASSERT_NE(ev.find("s"), nullptr) << ev.dump();
+        const std::string name = ev.find("name")->as_string();
+        if (name.rfind("query", 0) == 0) saw_query = true;
+        if (name == "terminate") saw_terminate = true;
+      } else {
+        FAIL() << "unexpected ph: " << ev.dump();
+      }
+    }
+    // One process_name plus one thread_name per peer track.
+    EXPECT_EQ(metadata, 1u + 8u);
+    EXPECT_GT(slices, 0u);
+    EXPECT_GT(instants, 0u);
+    EXPECT_TRUE(saw_phase_slice);
+    EXPECT_TRUE(saw_query);
+    EXPECT_TRUE(saw_terminate);
+  });
+}
+
+TEST(Perfetto, CrashesBecomeInstantsAndTimesScaleByTheOption) {
+  proto::Scenario s;
+  s.cfg = dr::Config{.n = 256, .k = 8, .beta = 0.25, .message_bits = 1024,
+                     .seed = 25};
+  s.honest = proto::make_committee();
+  s.crashes.add_at_time(0, 0.5);
+  sim::Trace* trace = nullptr;
+  Json doc;
+  s.instrument = [&](dr::World& world) { trace = &world.enable_trace(); };
+  s.post_run = [&](dr::World&, const dr::RunReport& report) {
+    PerfettoOptions opts;
+    opts.us_per_time_unit = 10.0;
+    doc = to_perfetto(*trace, report.phase_spans, 8, opts);
+  };
+  ASSERT_TRUE(proto::run_scenario(s).ok());
+
+  const Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw_crash = false;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const Json& ev = events->at(i);
+    if (ev.find("name")->as_string() == "crash") {
+      saw_crash = true;
+      // t=0.5 at 10 us per unit.
+      EXPECT_DOUBLE_EQ(ev.find("ts")->as_number(), 5.0);
+      EXPECT_EQ(ev.find("tid")->as_int(), 0);
+    }
+  }
+  EXPECT_TRUE(saw_crash);
+}
+
+TEST(Perfetto, MessageInstantsAreOptIn) {
+  with_traced_committee_run(27, [](const sim::Trace& trace,
+                                   const dr::RunReport& report) {
+    const auto count_named = [](const Json& doc, const std::string& prefix) {
+      const Json* events = doc.find("traceEvents");
+      std::size_t count = 0;
+      for (std::size_t i = 0; i < events->size(); ++i) {
+        if (events->at(i).find("name")->as_string().rfind(prefix, 0) == 0) {
+          ++count;
+        }
+      }
+      return count;
+    };
+    PerfettoOptions with;
+    with.include_messages = true;
+    const Json quiet = to_perfetto(trace, report.phase_spans, 8);
+    const Json loud = to_perfetto(trace, report.phase_spans, 8, with);
+    EXPECT_EQ(count_named(quiet, "send "), 0u);
+    EXPECT_GT(count_named(loud, "send "), 0u);
+  });
+}
+
+}  // namespace
+}  // namespace asyncdr::obs

@@ -1,0 +1,149 @@
+// The metrics layer: JSON value round-trips, histogram bucketing, registry
+// snapshots, and the standard run collector wired through a real scenario.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/collect.hpp"
+#include "obs/json.hpp"
+#include "protocols/runner.hpp"
+
+namespace asyncdr {
+namespace {
+
+using obs::Json;
+
+TEST(Json, ScalarsDumpAndParse) {
+  EXPECT_EQ(Json{}.dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(std::int64_t{42}).dump(), "42");
+  EXPECT_EQ(Json(-1.5).dump(), "-1.5");
+  EXPECT_EQ(Json("hi \"there\"\n").dump(), "\"hi \\\"there\\\"\\n\"");
+
+  const auto parsed = Json::parse("-17");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_int(), -17);
+}
+
+TEST(Json, NestedRoundTrip) {
+  Json doc = Json::object();
+  doc["name"] = "asyncdr";
+  doc["pi"] = 3.25;
+  doc["count"] = std::uint64_t{7};
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  Json inner = Json::object();
+  inner["deep"] = true;
+  arr.push_back(std::move(inner));
+  doc["items"] = std::move(arr);
+
+  const std::string text = doc.dump(2);
+  const auto back = Json::parse(text);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->find("name")->as_string(), "asyncdr");
+  EXPECT_DOUBLE_EQ(back->find("pi")->as_number(), 3.25);
+  EXPECT_EQ(back->find("count")->as_int(), 7);
+  const Json* items = back->find("items");
+  ASSERT_NE(items, nullptr);
+  ASSERT_EQ(items->size(), 3u);
+  EXPECT_EQ(items->at(0).as_int(), 1);
+  EXPECT_EQ(items->at(1).as_string(), "two");
+  EXPECT_TRUE(items->at(2).find("deep")->as_bool());
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(Json::parse("").has_value());
+  EXPECT_FALSE(Json::parse("{").has_value());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(Json::parse("42 garbage").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\" 1}").has_value());
+}
+
+TEST(Histogram, BucketsByUpperBound) {
+  obs::Histogram h({1.0, 4.0, 16.0});
+  for (double v : {0.5, 1.0, 2.0, 4.0, 5.0, 100.0}) h.observe(v);
+  // le=1: {0.5, 1.0}; le=4: {2.0, 4.0}; le=16: {5.0}; overflow: {100.0}.
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 2u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(MetricsRegistry, SameNameAndLabelsIsTheSameSeries) {
+  obs::MetricsRegistry reg;
+  reg.counter("hits", {{"peer", "0"}}).add(2);
+  reg.counter("hits", {{"peer", "0"}}).add(3);
+  reg.counter("hits", {{"peer", "1"}}).add(1);
+  EXPECT_EQ(reg.counter("hits", {{"peer", "0"}}).value(), 5u);
+  EXPECT_EQ(reg.counter("hits", {{"peer", "1"}}).value(), 1u);
+}
+
+TEST(MetricsRegistry, SnapshotCarriesSchemaAndAllSeriesKinds) {
+  obs::MetricsRegistry reg;
+  reg.counter("c_total").add(9);
+  reg.gauge("g").set(2.5);
+  reg.histogram("h", {1.0, 2.0}).observe(1.5);
+
+  const Json snap = reg.snapshot();
+  EXPECT_EQ(snap.find("schema")->as_string(), "asyncdr-metrics-v1");
+  ASSERT_EQ(snap.find("counters")->size(), 1u);
+  EXPECT_EQ(snap.find("counters")->at(0).find("value")->as_int(), 9);
+  ASSERT_EQ(snap.find("gauges")->size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.find("gauges")->at(0).find("value")->as_number(), 2.5);
+  ASSERT_EQ(snap.find("histograms")->size(), 1u);
+  const Json& h = snap.find("histograms")->at(0);
+  EXPECT_EQ(h.find("count")->as_int(), 1);
+  ASSERT_EQ(h.find("buckets")->size(), 3u);
+  EXPECT_EQ(h.find("buckets")->at(2).find("le")->as_string(), "inf");
+
+  // The dump round-trips through the parser.
+  EXPECT_TRUE(Json::parse(reg.to_json_string()).has_value());
+}
+
+TEST(RunMetricsCollector, CountsAgreeWithTheRunReport) {
+  proto::Scenario s;
+  s.cfg = dr::Config{.n = 256, .k = 8, .beta = 0.25, .message_bits = 1024,
+                     .seed = 3};
+  s.honest = proto::make_committee();
+  s.crashes = adv::CrashPlan::silent_prefix(s.cfg.max_faulty());
+
+  obs::MetricsRegistry reg;
+  obs::RunMetricsCollector collector(reg);
+  std::uint64_t served = 0;
+  s.instrument = [&](dr::World& world) { collector.attach(world); };
+  s.post_run = [&](dr::World& world, const dr::RunReport& report) {
+    collector.finalize(report);
+    served = world.source().total_bits_served();
+  };
+  const dr::RunReport report = proto::run_scenario(s);
+  ASSERT_TRUE(report.ok());
+
+  // Per-peer query counters sum to the source's own served-bits counter.
+  std::uint64_t counter_sum = 0;
+  for (std::size_t p = 0; p < s.cfg.k; ++p) {
+    counter_sum +=
+        reg.counter("source_query_bits_total", {{"peer", std::to_string(p)}})
+            .value();
+  }
+  EXPECT_EQ(counter_sum, served);
+  EXPECT_GT(counter_sum, 0u);
+
+  // Headline gauges mirror the report.
+  EXPECT_DOUBLE_EQ(reg.gauge("run_query_complexity_bits").value(),
+                   static_cast<double>(report.query_complexity));
+  EXPECT_DOUBLE_EQ(reg.gauge("run_ok").value(), 1.0);
+
+  // The live histograms saw traffic.
+  EXPECT_GT(reg.histogram("source_query_bits", {}).count(), 0u);
+  EXPECT_GT(reg.histogram("sim_event_queue_depth", {}).count(), 0u);
+}
+
+}  // namespace
+}  // namespace asyncdr

@@ -1,0 +1,189 @@
+// Phase accounting across every annotated protocol: the per-phase Q/M
+// breakdowns in RunReport must reconcile exactly with the aggregate
+// measures, and the phase-table renderer is pinned by a golden string on a
+// fully deterministic (lockstep-latency) run.
+#include "dr/phase.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "adversary/crash_plan.hpp"
+#include "protocols/runner.hpp"
+
+namespace asyncdr::proto {
+namespace {
+
+struct PhaseCase {
+  std::string name;
+  Scenario scenario;
+  std::string expected_phase;  // a phase the protocol must report
+};
+
+std::vector<PhaseCase> annotated_cases() {
+  std::vector<PhaseCase> cases;
+  {
+    PhaseCase c;
+    c.name = "naive";
+    c.scenario.cfg = dr::Config{.n = 1 << 10, .k = 8, .beta = 0.5,
+                                .message_bits = 256, .seed = 2};
+    c.scenario.honest = make_naive();
+    c.expected_phase = "bulk-download";
+    cases.push_back(std::move(c));
+  }
+  {
+    PhaseCase c;
+    c.name = "crash_one";
+    c.scenario.cfg = dr::Config{.n = 4096, .k = 8, .beta = 1.0 / 8,
+                                .message_bits = 256, .seed = 3};
+    c.scenario.honest = make_crash_one();
+    c.scenario.crashes.add_at_time(3, 0.3);
+    c.expected_phase = "p1:own-block";
+    cases.push_back(std::move(c));
+  }
+  {
+    PhaseCase c;
+    c.name = "crash_multi";
+    c.scenario.cfg = dr::Config{.n = 4096, .k = 12, .beta = 0.5,
+                                .message_bits = 256, .seed = 4};
+    c.scenario.honest = make_crash_multi();
+    c.scenario.crashes =
+        adv::CrashPlan::silent_prefix(c.scenario.cfg.max_faulty());
+    c.expected_phase = "round-1";
+    cases.push_back(std::move(c));
+  }
+  {
+    PhaseCase c;
+    c.name = "committee";
+    c.scenario.cfg = dr::Config{.n = 256, .k = 8, .beta = 0.25,
+                                .message_bits = 1024, .seed = 5};
+    c.scenario.honest = make_committee();
+    c.scenario.byzantine =
+        make_committee_liar(CommitteeLiarPeer::Mode::kFlipAll);
+    c.scenario.byz_ids =
+        pick_faulty(c.scenario.cfg, c.scenario.cfg.max_faulty());
+    c.expected_phase = "committee-query+vote";
+    cases.push_back(std::move(c));
+  }
+  {
+    PhaseCase c;
+    c.name = "two_cycle";
+    c.scenario.cfg = dr::Config{.n = 1 << 12, .k = 128, .beta = 0.125,
+                                .message_bits = 1024, .seed = 6};
+    c.scenario.honest = make_two_cycle(2.0);
+    c.scenario.byzantine = make_vote_stuffer(2.0, 0);
+    c.scenario.byz_ids =
+        pick_faulty(c.scenario.cfg, c.scenario.cfg.max_faulty());
+    c.expected_phase = "cycle1:sample-report";
+    cases.push_back(std::move(c));
+  }
+  {
+    PhaseCase c;
+    c.name = "multi_cycle";
+    c.scenario.cfg = dr::Config{.n = 1 << 12, .k = 128, .beta = 0.125,
+                                .message_bits = 4096, .seed = 7};
+    c.scenario.honest = make_multi_cycle(2.0);
+    c.expected_phase = "cycle-1";
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+// The load-bearing invariant of the phase layer: summing any measure over
+// the reported phases reproduces the run's aggregate exactly, for every
+// protocol, because the implicit "unphased" span catches whatever a
+// protocol did outside its annotations.
+TEST(Phases, BreakdownSumsMatchAggregatesForEveryProtocol) {
+  for (PhaseCase& c : annotated_cases()) {
+    const dr::RunReport report = run_scenario(c.scenario);
+    EXPECT_TRUE(report.ok()) << c.name << ": " << report.to_string();
+    ASSERT_FALSE(report.phases.empty()) << c.name;
+
+    std::uint64_t bits = 0, units = 0, payloads = 0;
+    bool found_expected = false;
+    for (const dr::RunReport::PhaseBreakdown& p : report.phases) {
+      EXPECT_FALSE(p.name.empty()) << c.name;
+      bits += p.bits_queried;
+      units += p.unit_messages;
+      payloads += p.payload_messages;
+      if (p.name == c.expected_phase) found_expected = true;
+    }
+    EXPECT_EQ(bits, report.total_queries) << c.name;
+    EXPECT_EQ(units, report.message_complexity) << c.name;
+    EXPECT_EQ(payloads, report.payload_messages) << c.name;
+    EXPECT_TRUE(found_expected)
+        << c.name << ": missing phase \"" << c.expected_phase << '"';
+
+    // Raw spans cover at least the nonfaulty peers' reported work.
+    ASSERT_FALSE(report.phase_spans.empty()) << c.name;
+  }
+}
+
+// Small instances push the randomized protocols through their naive
+// fallback; that path is annotated too, so the invariant still holds and
+// the breakdown names the fallback.
+TEST(Phases, RandomizedFallbackIsAnnotated) {
+  for (PeerFactory factory : {make_two_cycle(2.0), make_multi_cycle(2.0)}) {
+    Scenario s;
+    s.cfg = dr::Config{.n = 512, .k = 8, .beta = 0.25, .message_bits = 1024,
+                       .seed = 9};
+    s.honest = factory;
+    const dr::RunReport report = run_scenario(s);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+    ASSERT_EQ(report.phases.size(), 1u);
+    EXPECT_EQ(report.phases[0].name, "bulk-download");
+    EXPECT_EQ(report.phases[0].bits_queried, report.total_queries);
+  }
+}
+
+// Faulty peers are excluded from the aggregated breakdown (matching the
+// nonfaulty-only Q/M measures) but their spans stay visible in the raw
+// per-peer span list for the timeline exporters.
+TEST(Phases, FaultyPeersExcludedFromBreakdownButPresentInSpans) {
+  Scenario s;
+  s.cfg = dr::Config{.n = 256, .k = 8, .beta = 0.25, .message_bits = 1024,
+                     .seed = 11};
+  s.honest = make_committee();
+  s.byzantine = make_committee_liar(CommitteeLiarPeer::Mode::kFlipAll);
+  s.byz_ids = pick_faulty(s.cfg, s.cfg.max_faulty());
+  const dr::RunReport report = run_scenario(s);
+  ASSERT_TRUE(report.ok()) << report.to_string();
+
+  const std::size_t honest = s.cfg.k - s.byz_ids.size();
+  for (const dr::RunReport::PhaseBreakdown& p : report.phases) {
+    EXPECT_LE(p.peers, honest) << p.name;
+  }
+}
+
+// Golden rendering of the phase table under lockstep latency (all message
+// delays exactly 1.0), which makes every number in the table — including
+// the max spans — independent of latency randomness.
+TEST(Phases, PhaseTableGolden) {
+  Scenario s;
+  s.cfg = dr::Config{.n = 256, .k = 8, .beta = 0.25, .message_bits = 1024,
+                     .seed = 1};
+  s.honest = make_committee();
+  s.latency = fixed_latency(1.0);
+  const dr::RunReport report = run_scenario(s);
+  ASSERT_TRUE(report.ok()) << report.to_string();
+
+  const std::string expected =
+      "| phase                | peers | Q (bits) | M (units) | payloads | T (max span) |\n"
+      "|----------------------|-------|----------|-----------|----------|--------------|\n"
+      "| committee-query+vote | 8     | 1280     | 56        | 56       | 0.00         |\n"
+      "| vote-collection      | 8     | 0        | 0         | 0        | 1.00         |\n";
+  EXPECT_EQ(report.phase_table(), expected);
+
+  // The per-peer table lists one committee-query+vote span per peer.
+  const std::string peer_table = report.peer_phase_table();
+  for (std::size_t p = 0; p < s.cfg.k; ++p) {
+    EXPECT_NE(peer_table.find("| " + std::to_string(p) + " "),
+              std::string::npos)
+        << peer_table;
+  }
+}
+
+}  // namespace
+}  // namespace asyncdr::proto

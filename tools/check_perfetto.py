@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event (Perfetto-loadable) JSON file.
+
+Usage: check_perfetto.py TRACE.json
+
+Checks the invariants the viewers rely on: a traceEvents array where every
+event carries name/ph/pid, timeline events ("X", "i") carry ts/tid, complete
+slices carry a non-negative dur, and instants carry a scope. Exit 0 on a
+valid file, 1 on a schema violation, 2 on a usage/parse error.
+"""
+
+import json
+import sys
+
+TIMELINE_PHASES = {"X", "i"}
+KNOWN_PHASES = TIMELINE_PHASES | {"M"}
+
+
+def fail(msg):
+    print(f"invalid trace: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {sys.argv[1]}: {e}", file=sys.stderr)
+        return 2
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("missing or empty traceEvents array")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        for key in ("name", "ph", "pid"):
+            if key not in ev:
+                fail(f"{where} lacks {key}: {ev}")
+        ph = ev["ph"]
+        if ph not in KNOWN_PHASES:
+            fail(f"{where} has unexpected ph {ph!r}")
+        if ph in TIMELINE_PHASES:
+            for key in ("ts", "tid"):
+                if key not in ev:
+                    fail(f"{where} ({ph}) lacks {key}: {ev}")
+        if ph == "X":
+            if "dur" not in ev or ev["dur"] < 0:
+                fail(f"{where} slice lacks a non-negative dur: {ev}")
+        if ph == "i" and "s" not in ev:
+            fail(f"{where} instant lacks a scope: {ev}")
+
+    slices = sum(1 for ev in events if ev["ph"] == "X")
+    instants = sum(1 for ev in events if ev["ph"] == "i")
+    print(f"ok: {len(events)} events ({slices} slices, {instants} instants)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

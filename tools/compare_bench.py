@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Compare a freshly generated BENCH_*.json against its checked-in baseline.
+
+Usage: compare_bench.py BASELINE FRESH [--tolerance 0.25]
+
+Entries are matched by (section, label). For every numeric metric present in
+both, the relative difference must stay within the tolerance (default 25% --
+generous on purpose: the perf smoke gate catches regressions in kind, not in
+degree). `failures` must not increase. Entries present only in the baseline
+are errors (a silently dropped series is a regression); entries only in the
+fresh file are reported but allowed (new series land with their PR).
+
+Exit status: 0 = within tolerance, 1 = regression, 2 = usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+METRICS = ("q_mean", "t_mean", "m_mean")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "asyncdr-bench-v1":
+        print(f"error: {path} is not an asyncdr-bench-v1 file", file=sys.stderr)
+        sys.exit(2)
+    entries = {}
+    for e in doc.get("entries", []):
+        entries[(e.get("section", ""), e.get("label", ""))] = e
+    return doc.get("bench", "?"), entries
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="max allowed relative difference (default 0.25)")
+    args = ap.parse_args()
+
+    name, base = load(args.baseline)
+    _, fresh = load(args.fresh)
+
+    problems = []
+    checked = 0
+    for key, be in sorted(base.items()):
+        fe = fresh.get(key)
+        if fe is None:
+            problems.append(f"{key}: present in baseline, missing in fresh run")
+            continue
+        if fe.get("failures", 0) > be.get("failures", 0):
+            problems.append(
+                f"{key}: failures rose {be.get('failures', 0)} -> "
+                f"{fe.get('failures', 0)}")
+        for metric in METRICS:
+            if metric not in be or metric not in fe:
+                continue
+            b, f = float(be[metric]), float(fe[metric])
+            checked += 1
+            denom = max(abs(b), 1e-9)
+            rel = abs(f - b) / denom
+            if rel > args.tolerance:
+                problems.append(
+                    f"{key}: {metric} {b:g} -> {f:g} "
+                    f"({100 * rel:.1f}% > {100 * args.tolerance:.0f}%)")
+
+    new_only = sorted(set(fresh) - set(base))
+    for key in new_only:
+        print(f"note: new entry (not in baseline): {key}")
+
+    print(f"{name}: compared {checked} metric(s) across {len(base)} "
+          f"entr{'y' if len(base) == 1 else 'ies'}, "
+          f"{len(problems)} problem(s)")
+    for p in problems:
+        print(f"REGRESSION {p}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "common/threads.hpp"
 #include "obs/collect.hpp"
 #include "obs/metrics.hpp"
 
@@ -233,11 +234,7 @@ SweepReport ChaosRunner::run() const {
   // own dr::World, so workers share nothing but the atomic cursor; results
   // land at their grid index, making the report order (and bytes)
   // independent of scheduling.
-  std::size_t threads = options_.threads;
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = std::min(threads, total);
+  std::size_t threads = std::min(resolve_threads(options_.threads), total);
 
   std::atomic<std::size_t> cursor{0};
   const auto worker = [&] {

@@ -56,7 +56,9 @@ struct SweepOptions {
   std::vector<std::string> protocols;
   std::uint64_t seed_base = 1;
   std::size_t seeds = 100;
-  std::size_t threads = 0;  ///< 0 = hardware concurrency
+  /// 0 = auto: ASYNCDR_THREADS env override if set, else clamped hardware
+  /// concurrency (see common/threads.hpp).
+  std::size_t threads = 0;
   ChaosOptions chaos;
   bool shrink = true;
   /// Per-run event budget. Sweeps use a tighter budget than the default so
@@ -77,7 +79,7 @@ struct SweepReport {
   std::vector<CaseResult> cases_detail;
 
   /// Deterministic rendering (the CLI's output).
-  std::string to_string(bool verbose = false) const;
+  [[nodiscard]] std::string to_string(bool verbose = false) const;
 };
 
 class ChaosRunner {
@@ -85,7 +87,7 @@ class ChaosRunner {
   explicit ChaosRunner(SweepOptions options);
 
   /// Runs the sweep: fan out, collect, shrink failures.
-  SweepReport run() const;
+  [[nodiscard]] SweepReport run() const;
 
   /// Samples and executes one case.
   static CaseResult run_case(const ProtocolProfile& profile,

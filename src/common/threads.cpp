@@ -1,0 +1,46 @@
+#include "common/threads.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace asyncdr {
+
+std::size_t parse_thread_override(const char* value) {
+  if (value == nullptr) return 0;
+  std::string s(value);
+  const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  while (!s.empty() && is_space(static_cast<unsigned char>(s.front()))) {
+    s.erase(s.begin());
+  }
+  while (!s.empty() && is_space(static_cast<unsigned char>(s.back()))) {
+    s.pop_back();
+  }
+  if (s.empty() ||
+      !std::all_of(s.begin(), s.end(), [](unsigned char c) {
+        return std::isdigit(c) != 0;
+      })) {
+    return 0;
+  }
+  // Long digit strings saturate rather than overflow: anything past the
+  // clamp parses to the clamp.
+  if (s.size() > 6) return kMaxAutoThreads;
+  const unsigned long parsed = std::stoul(s);
+  if (parsed == 0) return 0;
+  return std::min<std::size_t>(parsed, kMaxAutoThreads);
+}
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const std::size_t env = parse_thread_override(
+          std::getenv("ASYNCDR_THREADS"));
+      env > 0) {
+    return env;
+  }
+  const std::size_t detected = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(detected, 1, kMaxAutoThreads);
+}
+
+}  // namespace asyncdr

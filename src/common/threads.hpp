@@ -1,0 +1,29 @@
+// Worker-thread count resolution for fan-out substrates (chaos sweeps,
+// future sharded runners). Centralised because std::thread::
+// hardware_concurrency() is a hint, not a promise: CI runners and cgroup
+// limits routinely report core counts that have nothing to do with what the
+// job may use, so an ASYNCDR_THREADS override must beat auto-detection
+// everywhere, uniformly.
+#pragma once
+
+#include <cstddef>
+
+namespace asyncdr {
+
+/// Clamp applied to auto-detected (or env-overridden) concurrency. Sweep
+/// workers are CPU-bound; past this width coordination overhead dominates.
+inline constexpr std::size_t kMaxAutoThreads = 64;
+
+/// Parses an ASYNCDR_THREADS-style override: optional surrounding
+/// whitespace around a positive decimal integer. Returns the value clamped
+/// to [1, kMaxAutoThreads], or 0 when `value` is null, empty, non-numeric,
+/// or zero (meaning: no usable override).
+[[nodiscard]] std::size_t parse_thread_override(const char* value);
+
+/// Resolves a worker-thread count. An explicit `requested` > 0 wins
+/// verbatim (the caller asked for exactly that). Otherwise the
+/// ASYNCDR_THREADS environment variable applies if it parses; otherwise
+/// std::thread::hardware_concurrency(), clamped to [1, kMaxAutoThreads].
+[[nodiscard]] std::size_t resolve_threads(std::size_t requested = 0);
+
+}  // namespace asyncdr

@@ -1,0 +1,89 @@
+#include "common/threads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace asyncdr {
+namespace {
+
+// RAII guard: sets (or clears) ASYNCDR_THREADS for one test and restores
+// the previous value afterwards, so tests cannot leak into each other.
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* value) {
+    const char* old = std::getenv(kVar);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value == nullptr) {
+      ::unsetenv(kVar);
+    } else {
+      ::setenv(kVar, value, /*overwrite=*/1);
+    }
+  }
+  ~EnvGuard() {
+    if (had_old_) {
+      ::setenv(kVar, old_.c_str(), 1);
+    } else {
+      ::unsetenv(kVar);
+    }
+  }
+
+ private:
+  static constexpr const char* kVar = "ASYNCDR_THREADS";
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(ParseThreadOverride, AcceptsPositiveIntegers) {
+  EXPECT_EQ(parse_thread_override("1"), 1u);
+  EXPECT_EQ(parse_thread_override("8"), 8u);
+  EXPECT_EQ(parse_thread_override("  16  "), 16u);
+}
+
+TEST(ParseThreadOverride, RejectsJunk) {
+  EXPECT_EQ(parse_thread_override(nullptr), 0u);
+  EXPECT_EQ(parse_thread_override(""), 0u);
+  EXPECT_EQ(parse_thread_override("   "), 0u);
+  EXPECT_EQ(parse_thread_override("0"), 0u);
+  EXPECT_EQ(parse_thread_override("-3"), 0u);
+  EXPECT_EQ(parse_thread_override("4x"), 0u);
+  EXPECT_EQ(parse_thread_override("auto"), 0u);
+  EXPECT_EQ(parse_thread_override("3.5"), 0u);
+}
+
+TEST(ParseThreadOverride, ClampsToMaxAutoThreads) {
+  EXPECT_EQ(parse_thread_override("9999"), kMaxAutoThreads);
+  EXPECT_EQ(parse_thread_override("184467440737095516150"), kMaxAutoThreads);
+}
+
+TEST(ResolveThreads, ExplicitRequestWinsVerbatim) {
+  EnvGuard env("3");
+  EXPECT_EQ(resolve_threads(5), 5u);
+  // Even past the auto clamp: an explicit request is the caller's call.
+  EXPECT_EQ(resolve_threads(kMaxAutoThreads + 10), kMaxAutoThreads + 10);
+}
+
+TEST(ResolveThreads, EnvOverrideBeatsDetection) {
+  EnvGuard env("3");
+  EXPECT_EQ(resolve_threads(), 3u);
+  EXPECT_EQ(resolve_threads(0), 3u);
+}
+
+TEST(ResolveThreads, InvalidEnvFallsBackToDetection) {
+  EnvGuard env("not-a-number");
+  const std::size_t resolved = resolve_threads();
+  EXPECT_GE(resolved, 1u);
+  EXPECT_LE(resolved, kMaxAutoThreads);
+}
+
+TEST(ResolveThreads, UnsetEnvStaysWithinClamp) {
+  EnvGuard env(nullptr);
+  const std::size_t resolved = resolve_threads();
+  EXPECT_GE(resolved, 1u);  // even if hardware_concurrency() reports 0
+  EXPECT_LE(resolved, kMaxAutoThreads);
+}
+
+}  // namespace
+}  // namespace asyncdr

@@ -1,0 +1,596 @@
+#!/usr/bin/env python3
+"""asyncdr model-conformance linter.
+
+The simulator's claims (determinism per seed, exact query accounting, virtual
+time) are semantic properties the compiler cannot check. This linter encodes
+them as mechanical rules over the source tree so a violation fails CI instead
+of silently invalidating every Theorem 1-6 experiment downstream.
+
+Usage:
+  asyncdr_lint.py [--root DIR] [paths...]     lint the tree (or given files)
+  asyncdr_lint.py --list-rules                print the rule catalog
+  asyncdr_lint.py --sarif out.sarif           also write SARIF 2.1.0
+  asyncdr_lint.py --write-baseline            accept current findings
+  asyncdr_lint.py --no-baseline               ignore the checked-in baseline
+
+Exit status: 0 = clean (or all findings baselined), 1 = new findings,
+2 = usage error.
+
+Suppressions (always carry a reason):
+  // asyncdr-lint: allow(DR004) rendering is this function's whole job
+      ...on the offending line, or on the line directly above it.
+  // asyncdr-lint: disable-file(DR010) reason...
+      ...anywhere in the file, disables the rule for the whole file.
+
+Zero third-party dependencies by design: this must run in any CI container
+and inside ctest with nothing but a Python 3.8+ interpreter.
+"""
+
+import argparse
+import fnmatch
+import hashlib
+import json
+import os
+import re
+import signal
+import sys
+
+if hasattr(signal, "SIGPIPE"):  # `lint | head` should not traceback
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+# Directories scanned relative to the repo root. tests/ is deliberately out of
+# scope: tests may poke internals (that is their job); the model only
+# constrains the simulator, its workloads, and its front-ends.
+SCAN_ROOTS = ("src", "bench", "examples")
+CXX_EXTENSIONS = (".cpp", ".hpp", ".h", ".cc", ".hh")
+
+ALLOW_RE = re.compile(r"asyncdr-lint:\s*allow\(([A-Z0-9, ]+)\)")
+DISABLE_FILE_RE = re.compile(r"asyncdr-lint:\s*disable-file\(([A-Z0-9, ]+)\)")
+
+
+class Finding:
+    def __init__(self, rule, path, line, message, snippet=""):
+        self.rule = rule  # rule id, e.g. "DR002"
+        self.path = path  # repo-relative, forward slashes
+        self.line = line  # 1-based; 0 = whole-file finding
+        self.message = message
+        self.snippet = snippet
+
+    def fingerprint(self):
+        """Stable identity for baselining: rule + file + content of the
+        offending line (not its number, which shifts with every edit)."""
+        digest = hashlib.sha256(self.snippet.strip().encode()).hexdigest()[:16]
+        return f"{self.rule}:{self.path}:{digest}"
+
+    def render(self):
+        loc = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{loc}: {self.rule}: {self.message}"
+
+
+class Rule:
+    """One conformance rule. `check` is a callable(tree) -> [Finding]."""
+
+    def __init__(self, rule_id, name, summary, rationale, check):
+        self.id = rule_id
+        self.name = name
+        self.summary = summary
+        self.rationale = rationale
+        self.check = check
+
+
+class SourceFile:
+    def __init__(self, root, relpath):
+        self.relpath = relpath.replace(os.sep, "/")
+        self.abspath = os.path.join(root, relpath)
+        with open(self.abspath, encoding="utf-8", errors="replace") as f:
+            self.text = f.read()
+        self.lines = self.text.splitlines()
+        self.disabled_rules = set()
+        for m in DISABLE_FILE_RE.finditer(self.text):
+            self.disabled_rules.update(
+                r.strip() for r in m.group(1).split(",") if r.strip())
+
+    def allowed_on_line(self, lineno):
+        """Rule ids suppressed on `lineno`: an allow() marker on the line
+        itself, or anywhere in the contiguous comment block directly above
+        it (so suppression reasons can span lines)."""
+        allowed = set()
+
+        def collect(text):
+            m = ALLOW_RE.search(text)
+            if m:
+                allowed.update(
+                    r.strip() for r in m.group(1).split(",") if r.strip())
+
+        if 1 <= lineno <= len(self.lines):
+            collect(self.lines[lineno - 1])
+        cursor = lineno - 1
+        while cursor >= 1 and self.lines[cursor - 1].lstrip().startswith("//"):
+            collect(self.lines[cursor - 1])
+            cursor -= 1
+        return allowed
+
+    def in_dir(self, prefix):
+        return self.relpath.startswith(prefix)
+
+    def matches(self, *globs):
+        return any(fnmatch.fnmatch(self.relpath, g) for g in globs)
+
+
+class Tree:
+    def __init__(self, root, only=None):
+        self.root = root
+        self.files = []
+        for scan_root in SCAN_ROOTS:
+            top = os.path.join(root, scan_root)
+            if not os.path.isdir(top):
+                continue
+            for dirpath, dirnames, filenames in os.walk(top):
+                dirnames.sort()
+                for name in sorted(filenames):
+                    if not name.endswith(CXX_EXTENSIONS):
+                        continue
+                    rel = os.path.relpath(os.path.join(dirpath, name), root)
+                    self.files.append(SourceFile(root, rel))
+        if only:
+            wanted = {os.path.normpath(p).replace(os.sep, "/") for p in only}
+            self.files = [f for f in self.files if f.relpath in wanted]
+
+    def by_path(self, relpath):
+        for f in self.files:
+            if f.relpath == relpath:
+                return f
+        return None
+
+
+def strip_comments_and_strings(line):
+    """Best-effort removal of string/char literals and // comments so rule
+    regexes do not fire on prose. Block comments are handled per line (good
+    enough for the idioms in this tree, where /* ... */ never spans code)."""
+    out = []
+    i, n = 0, len(line)
+    in_str = in_chr = False
+    while i < n:
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                continue
+            if c == '"':
+                in_str = False
+            i += 1
+            continue
+        if in_chr:
+            if c == "\\":
+                i += 2
+                continue
+            if c == "'":
+                in_chr = False
+            i += 1
+            continue
+        if c == '"':
+            in_str = True
+            out.append(" ")
+            i += 1
+            continue
+        if c == "'":
+            in_chr = True
+            out.append(" ")
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            end = line.find("*/", i + 2)
+            if end == -1:
+                break
+            i = end + 2
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def regex_rule(rule_id, pattern, message, *, include_dirs=SCAN_ROOTS,
+               exempt_globs=()):
+    """Builds a checker that flags every match of `pattern` on a
+    comment/string-stripped line, honoring exemptions and suppressions."""
+    compiled = re.compile(pattern)
+
+    def check(tree):
+        findings = []
+        for f in tree.files:
+            if not any(f.in_dir(d + "/") for d in include_dirs):
+                continue
+            if f.matches(*exempt_globs):
+                continue
+            if rule_id in f.disabled_rules:
+                continue
+            for lineno, raw in enumerate(f.lines, start=1):
+                code = strip_comments_and_strings(raw)
+                m = compiled.search(code)
+                if not m:
+                    continue
+                if rule_id in f.allowed_on_line(lineno):
+                    continue
+                findings.append(Finding(
+                    rule_id, f.relpath, lineno,
+                    message.format(match=m.group(0).strip()), raw))
+        return findings
+
+    return check
+
+
+# --- DR005 / DR006 / DR007 / DR009: structural rules -----------------------
+
+def check_pragma_once(tree):
+    findings = []
+    for f in tree.files:
+        if not f.relpath.endswith((".hpp", ".h", ".hh")):
+            continue
+        if "DR005" in f.disabled_rules:
+            continue
+        if "#pragma once" not in f.text:
+            findings.append(Finding(
+                "DR005", f.relpath, 1,
+                "header lacks '#pragma once'", f.relpath))
+    return findings
+
+
+def check_include_hygiene(tree):
+    findings = []
+    quoted = re.compile(r'#\s*include\s+"([^"]+)"')
+    angled = re.compile(r"#\s*include\s+<([^>]+)>")
+    for f in tree.files:
+        if "DR006" in f.disabled_rules:
+            continue
+        here = os.path.dirname(f.abspath)
+        for lineno, raw in enumerate(f.lines, start=1):
+            if "DR006" in f.allowed_on_line(lineno):
+                continue
+            m = quoted.search(raw)
+            if m:
+                inc = m.group(1)
+                if ".." in inc.split("/"):
+                    findings.append(Finding(
+                        "DR006", f.relpath, lineno,
+                        f'relative include "{inc}" escapes its directory; '
+                        "include from the src/ root instead", raw))
+                    continue
+                src_rooted = os.path.join(tree.root, "src", inc)
+                sibling = os.path.join(here, inc)
+                if not (os.path.isfile(src_rooted) or os.path.isfile(sibling)):
+                    findings.append(Finding(
+                        "DR006", f.relpath, lineno,
+                        f'quoted include "{inc}" resolves to no file under '
+                        "src/ or the including directory (system headers use "
+                        "<...>)", raw))
+            m = angled.search(raw)
+            if m and os.path.isfile(os.path.join(tree.root, "src", m.group(1))):
+                findings.append(Finding(
+                    "DR006", f.relpath, lineno,
+                    f"project header <{m.group(1)}> included with angle "
+                    'brackets; use "..." for repo headers', raw))
+    return findings
+
+
+def check_namespace(tree):
+    findings = []
+    for f in tree.files:
+        if not f.in_dir("src/"):
+            continue
+        if "DR007" in f.disabled_rules:
+            continue
+        if "namespace asyncdr" not in f.text:
+            findings.append(Finding(
+                "DR007", f.relpath, 1,
+                "src/ file declares nothing in namespace asyncdr", f.relpath))
+    return findings
+
+
+def check_phase_coverage(tree):
+    """Every honest protocol peer registered through a factory in
+    src/protocols/runner.cpp must open at least one accounting phase, or its
+    Q/T/M silently lands in the catch-all and PR 2's per-phase reconciliation
+    has a hole. Adversary peers (attacks*.cpp) are exempt: their costs are
+    the adversary's, which the paper's complexity measures do not count."""
+    findings = []
+    runner = tree.by_path("src/protocols/runner.cpp")
+    if runner is None:
+        return findings
+    if "DR009" in runner.disabled_rules:
+        return findings
+    classes = set(re.findall(r"std::make_unique<(\w+)>", runner.text))
+    impl_files = [f for f in tree.files
+                  if f.in_dir("src/protocols/") and f.relpath.endswith(".cpp")]
+    for cls in sorted(classes):
+        for f in impl_files:
+            if f.matches("src/protocols/attacks*.cpp"):
+                continue
+            if not re.search(rf"\b{cls}::on_start\b", f.text):
+                continue
+            if "begin_phase(" not in f.text:
+                lineno = next(
+                    (i for i, l in enumerate(f.lines, start=1)
+                     if f"{cls}::on_start" in l), 1)
+                if "DR009" in f.disabled_rules:
+                    continue
+                if "DR009" in f.allowed_on_line(lineno):
+                    continue
+                findings.append(Finding(
+                    "DR009", f.relpath, lineno,
+                    f"protocol peer {cls} is registered in runner.cpp but "
+                    "never calls begin_phase(); its Q/T/M would bypass the "
+                    "per-phase reconciliation", f.lines[lineno - 1]))
+    return findings
+
+
+RULES = [
+    Rule(
+        "DR001", "wall-clock-time",
+        "No wall-clock or OS time sources outside src/common/rng.*.",
+        "The DR model runs on virtual sim::Time only. One std::chrono clock "
+        "read mixed into protocol or substrate logic breaks bit-for-bit "
+        "determinism per seed, and with it every shrunk chaos repro and "
+        "golden accounting test.",
+        regex_rule(
+            "DR001",
+            r"std::chrono::(steady_clock|system_clock|high_resolution_clock)"
+            r"|\b(gettimeofday|clock_gettime|localtime|gmtime)\s*\("
+            r"|\btime\s*\(\s*(NULL|nullptr|0)?\s*\)",
+            "wall-clock time source '{match}' (virtual sim::Time only)",
+            exempt_globs=("src/common/rng.*",)),
+    ),
+    Rule(
+        "DR002", "ambient-randomness",
+        "All randomness flows through the seeded asyncdr::Rng streams.",
+        "Runs must be pure functions of (config, seed): the chaos shrinker, "
+        "the two-world lower-bound adversary, and the bench baselines all "
+        "rely on replaying a seed to reproduce the exact execution. "
+        "std::random_device, rand(), or an ad-hoc mt19937 adds entropy the "
+        "seed does not control.",
+        regex_rule(
+            "DR002",
+            r"\b(s?rand|drand48|arc4random)\s*\("
+            r"|std::random_device|\brandom_device\b|\bmt19937\b",
+            "ambient randomness '{match}' (use asyncdr::Rng split streams)",
+            exempt_globs=("src/common/rng.*",)),
+    ),
+    Rule(
+        "DR003", "source-internals",
+        "Source/ValueSource state mutation stays on the query-accounting "
+        "path (src/dr/source.*, src/oracle/*).",
+        "Every bit a peer learns from the external source must be accounted "
+        "by Query — that is the quantity Theorems 1-6 bound. Code that swaps "
+        "arrays, installs overlays, or resets counters from elsewhere can "
+        "leak unaccounted bits; the two-world adversary constructions that "
+        "legitimately need it carry explicit allow() annotations.",
+        regex_rule(
+            "DR003",
+            r"\.\s*(set_data|set_overlay|reset_accounting"
+            r"|enable_index_recording)\s*\("
+            r"|\bsource\(\)\s*\.\s*data\s*\(\)",
+            "source-internals access '{match}' outside the accounting path",
+            include_dirs=("src", "bench", "examples"),
+            exempt_globs=("src/dr/source.*", "src/oracle/*")),
+    ),
+    Rule(
+        "DR004", "stdout-in-library",
+        "No std::cout/printf in library code under src/.",
+        "Library-side printing corrupts machine-readable output (the CLI "
+        "pipes reports and JSON to stdout) and hides information from the "
+        "structured report types tests assert on. Designated report "
+        "renderers carry an allow() annotation.",
+        regex_rule(
+            "DR004",
+            r"std::(cout|cerr)\b|\bprintf\s*\(|\bfprintf\s*\(\s*std(out|err)"
+            r"|\bputs\s*\(",
+            "direct console I/O '{match}' in library code",
+            include_dirs=("src",)),
+    ),
+    Rule(
+        "DR005", "pragma-once",
+        "Every header carries #pragma once.",
+        "A double-included header produces ODR spaghetti that surfaces as "
+        "baffling link errors; one uniform guard style keeps the check "
+        "mechanical.",
+        check_pragma_once,
+    ),
+    Rule(
+        "DR006", "include-hygiene",
+        'Quoted includes resolve from the src/ root; system headers use <>.',
+        "Includes that only resolve through accidental -I paths or ../ hops "
+        "break as soon as a target's include dirs change; src/-rooted spelling "
+        "keeps every header's location explicit and greppable.",
+        check_include_hygiene,
+    ),
+    Rule(
+        "DR007", "namespace",
+        "All src/ code lives in namespace asyncdr.",
+        "Global-namespace symbols collide with dependencies and make ADL "
+        "surprises possible; the namespace is also what scopes the "
+        "identifier-naming rules clang-tidy enforces.",
+        check_namespace,
+    ),
+    Rule(
+        "DR008", "raw-throw",
+        "Use ASYNCDR_EXPECTS/ASYNCDR_INVARIANT instead of raw throw.",
+        "Contract macros attach the failed expression and source location "
+        "and funnel everything into asyncdr::contract_violation, which tests "
+        "and the chaos runner catch by type. A raw throw bypasses that "
+        "taxonomy (check.hpp itself is the single designated throw site).",
+        regex_rule(
+            "DR008",
+            r"\bthrow\b",
+            "raw '{match}' (use the ASYNCDR_* contract macros)",
+            include_dirs=("src",),
+            exempt_globs=("src/common/check.hpp",)),
+    ),
+    Rule(
+        "DR009", "phase-accounting",
+        "Registered protocol peers open at least one begin_phase().",
+        "RunReport's per-phase Q/T/M breakdown reconciles exactly against "
+        "run totals; a protocol that never opens a phase dumps its whole "
+        "cost into the catch-all and the reconciliation test loses its "
+        "teeth for that protocol.",
+        check_phase_coverage,
+    ),
+    Rule(
+        "DR010", "threads-outside-substrate",
+        "Threading primitives only in src/chaos/ and src/common/threads.*.",
+        "A dr::World is single-threaded by design — determinism comes from "
+        "a sequential event loop. Parallelism belongs in the sweep substrate "
+        "that fans out *independent* worlds; a mutex or thread inside model "
+        "code is either a data race waiting for TSan or hidden "
+        "schedule-dependence. Shared read-only caches that genuinely need a "
+        "lock carry an allow() annotation.",
+        regex_rule(
+            "DR010",
+            r"std::(jthread|thread|mutex|scoped_lock|lock_guard|unique_lock"
+            r"|shared_mutex|condition_variable|atomic)\b|\bstd::async\b",
+            "threading primitive '{match}' outside the sweep substrate",
+            include_dirs=("src",),
+            exempt_globs=("src/chaos/*", "src/common/threads.*")),
+    ),
+]
+
+
+def list_rules():
+    out = []
+    for r in RULES:
+        out.append(f"{r.id}  {r.name}")
+        out.append(f"    {r.summary}")
+        for line in wrap(r.rationale, 72):
+            out.append(f"      {line}")
+    return "\n".join(out)
+
+
+def wrap(text, width):
+    words, lines, cur = text.split(), [], ""
+    for w in words:
+        if cur and len(cur) + 1 + len(w) > width:
+            lines.append(cur)
+            cur = w
+        else:
+            cur = f"{cur} {w}".strip()
+    if cur:
+        lines.append(cur)
+    return lines
+
+
+def to_sarif(findings):
+    rules_meta = [{
+        "id": r.id,
+        "name": r.name,
+        "shortDescription": {"text": r.summary},
+        "fullDescription": {"text": r.rationale},
+        "defaultConfiguration": {"level": "error"},
+    } for r in RULES]
+    results = [{
+        "ruleId": f.rule,
+        "level": "error",
+        "message": {"text": f.message},
+        "partialFingerprints": {"asyncdrLint/v1": f.fingerprint()},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": f.path},
+                "region": {"startLine": max(f.line, 1)},
+            },
+        }],
+    } for f in findings]
+    return {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                    "master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "asyncdr-lint",
+                "informationUri": "tools/asyncdr_lint.py",
+                "rules": rules_meta,
+            }},
+            "results": results,
+        }],
+    }
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="asyncdr model-conformance linter")
+    ap.add_argument("paths", nargs="*",
+                    help="restrict to these repo-relative files")
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: parent of this script)")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--sarif", metavar="FILE",
+                    help="write SARIF 2.1.0 report to FILE")
+    ap.add_argument("--baseline", metavar="FILE", default=None,
+                    help="baseline file (default: tools/lint_baseline.json)")
+    ap.add_argument("--no-baseline", action="store_true",
+                    help="report all findings, ignoring the baseline")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="accept current findings into the baseline file")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        print(list_rules())
+        return 0
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"error: {root} does not look like the repo root "
+              "(no src/)", file=sys.stderr)
+        return 2
+
+    tree = Tree(root, only=args.paths or None)
+    findings = []
+    for rule in RULES:
+        findings.extend(rule.check(tree))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+
+    if args.sarif:
+        with open(args.sarif, "w", encoding="utf-8") as f:
+            json.dump(to_sarif(findings), f, indent=2)
+            f.write("\n")
+
+    baseline_path = args.baseline or os.path.join(
+        root, "tools", "lint_baseline.json")
+    if args.write_baseline:
+        doc = {
+            "schema": "asyncdr-lint-baseline-v1",
+            "fingerprints": sorted(f.fingerprint() for f in findings),
+        }
+        with open(baseline_path, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"baseline: wrote {len(findings)} fingerprint(s) to "
+              f"{baseline_path}")
+        return 0
+
+    known = set()
+    if not args.no_baseline and os.path.isfile(baseline_path):
+        try:
+            with open(baseline_path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: cannot read baseline {baseline_path}: {e}",
+                  file=sys.stderr)
+            return 2
+        if doc.get("schema") != "asyncdr-lint-baseline-v1":
+            print(f"error: {baseline_path} is not an asyncdr-lint-baseline-v1 "
+                  "file", file=sys.stderr)
+            return 2
+        known = set(doc.get("fingerprints", []))
+
+    new = [f for f in findings if f.fingerprint() not in known]
+    for f in new:
+        print(f.render())
+    suppressed = len(findings) - len(new)
+    tail = f" ({suppressed} baselined)" if suppressed else ""
+    print(f"asyncdr-lint: {len(tree.files)} file(s), {len(new)} "
+          f"finding(s){tail}")
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,395 @@
+"""Unit tests for tools/asyncdr_lint.py.
+
+Runs the linter in-process (main() returns the exit status) against
+synthetic trees, plus one seeded-regression test against a copy of the real
+repo with a model violation injected — the check the acceptance gate cares
+about: a protocol that sneaks in std::random_device must fail the lint.
+
+unittest-style on purpose: runnable by both `python3 -m unittest` (what
+ctest invokes; no third-party deps) and pytest.
+"""
+
+import importlib.util
+import io
+import json
+import os
+import shutil
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+
+TOOLS_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+REPO_ROOT = os.path.dirname(TOOLS_DIR)
+
+spec = importlib.util.spec_from_file_location(
+    "asyncdr_lint", os.path.join(TOOLS_DIR, "asyncdr_lint.py"))
+lint = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(lint)
+
+
+def run_lint(*argv):
+    out = io.StringIO()
+    with redirect_stdout(out):
+        status = lint.main(list(argv))
+    return status, out.getvalue()
+
+
+class TreeCase(unittest.TestCase):
+    """Base: a scratch repo root with helpers to drop files into it."""
+
+    def setUp(self):
+        self.root = tempfile.mkdtemp(prefix="asyncdr-lint-test-")
+        self.addCleanup(shutil.rmtree, self.root)
+        os.makedirs(os.path.join(self.root, "src"))
+
+    def write(self, relpath, text):
+        path = os.path.join(self.root, relpath)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+        return path
+
+    def lint(self, *extra):
+        return run_lint("--root", self.root, "--no-baseline", *extra)
+
+
+CLEAN_CPP = """\
+#include "common/util.hpp"
+namespace asyncdr {
+int f() { return 1; }
+}  // namespace asyncdr
+"""
+
+
+class RuleDetection(TreeCase):
+    def test_clean_tree_passes(self):
+        self.write("src/common/util.hpp",
+                   "#pragma once\nnamespace asyncdr {}\n")
+        self.write("src/common/util.cpp", CLEAN_CPP)
+        status, out = self.lint()
+        self.assertEqual(status, 0, out)
+
+    def test_dr001_wall_clock(self):
+        self.write("src/sim/clock.cpp",
+                   "namespace asyncdr {\n"
+                   "auto t = std::chrono::steady_clock::now();\n}\n")
+        status, out = self.lint()
+        self.assertEqual(status, 1)
+        self.assertIn("DR001", out)
+        self.assertIn("src/sim/clock.cpp:2", out)
+
+    def test_dr001_time_call_but_not_identifiers_containing_time(self):
+        self.write("src/sim/clock.cpp",
+                   "namespace asyncdr {\n"
+                   "double a = termination_time();\n"
+                   "long b = time(nullptr);\n}\n")
+        status, out = self.lint()
+        self.assertEqual(status, 1)
+        self.assertIn("clock.cpp:3", out)
+        self.assertNotIn("clock.cpp:2", out)
+
+    def test_dr002_random_device(self):
+        self.write("src/protocols/p.cpp",
+                   "namespace asyncdr {\nstd::random_device rd;\n}\n")
+        status, out = self.lint()
+        self.assertEqual(status, 1)
+        self.assertIn("DR002", out)
+
+    def test_dr002_exempts_rng_files(self):
+        self.write("src/common/rng.cpp",
+                   "namespace asyncdr {\nstd::mt19937 gen(42);\n}\n")
+        status, out = self.lint()
+        self.assertEqual(status, 0, out)
+
+    def test_dr002_ignores_comments_and_strings(self):
+        self.write("src/protocols/p.cpp",
+                   "namespace asyncdr {\n"
+                   "// std::random_device would break determinism\n"
+                   'const char* s = "rand()";\n}\n')
+        status, out = self.lint()
+        self.assertEqual(status, 0, out)
+
+    def test_dr003_source_internals(self):
+        self.write("src/protocols/p.cpp",
+                   "namespace asyncdr {\n"
+                   "void f(W& w) { w.source().set_overlay(0, fake); }\n}\n")
+        status, out = self.lint()
+        self.assertEqual(status, 1)
+        self.assertIn("DR003", out)
+
+    def test_dr003_exempts_oracle_and_source(self):
+        self.write("src/oracle/dyn.cpp",
+                   "namespace asyncdr {\n"
+                   "void f(W& w) { w.source().set_data(BitVec{}); }\n}\n")
+        self.write("src/dr/source.cpp",
+                   "namespace asyncdr {\n"
+                   "void Source::reset_accounting() {}\n}\n")
+        status, out = self.lint()
+        self.assertEqual(status, 0, out)
+
+    def test_dr004_stdout_in_src_only(self):
+        self.write("src/common/a.cpp",
+                   'namespace asyncdr {\nvoid f() { std::cout << 1; }\n}\n')
+        self.write("examples/cli.cpp", 'int main() { std::cout << 1; }\n')
+        status, out = self.lint()
+        self.assertEqual(status, 1)
+        self.assertIn("src/common/a.cpp", out)
+        self.assertNotIn("examples/cli.cpp", out)
+
+    def test_dr005_pragma_once(self):
+        self.write("src/common/h.hpp", "namespace asyncdr {}\n")
+        status, out = self.lint()
+        self.assertEqual(status, 1)
+        self.assertIn("DR005", out)
+
+    def test_dr006_parent_relative_include(self):
+        self.write("src/common/a.cpp",
+                   '#include "../dr/world.hpp"\nnamespace asyncdr {}\n')
+        status, out = self.lint()
+        self.assertEqual(status, 1)
+        self.assertIn("DR006", out)
+
+    def test_dr006_unresolvable_quoted_include(self):
+        self.write("src/common/a.cpp",
+                   '#include "no/such/file.hpp"\nnamespace asyncdr {}\n')
+        status, out = self.lint()
+        self.assertEqual(status, 1)
+        self.assertIn("DR006", out)
+
+    def test_dr006_accepts_src_rooted_and_sibling_includes(self):
+        self.write("src/common/h.hpp", "#pragma once\nnamespace asyncdr {}\n")
+        self.write("src/common/a.cpp",
+                   '#include "common/h.hpp"\nnamespace asyncdr {}\n')
+        self.write("bench/bench_common.hpp",
+                   "#pragma once\nnamespace asyncdr {}\n")
+        self.write("bench/b.cpp",
+                   '#include "bench_common.hpp"\nnamespace asyncdr {}\n')
+        status, out = self.lint()
+        self.assertEqual(status, 0, out)
+
+    def test_dr006_angle_include_of_project_header(self):
+        self.write("src/common/h.hpp", "#pragma once\nnamespace asyncdr {}\n")
+        self.write("src/common/a.cpp",
+                   "#include <common/h.hpp>\nnamespace asyncdr {}\n")
+        status, out = self.lint()
+        self.assertEqual(status, 1)
+        self.assertIn("angle", out)
+
+    def test_dr007_namespace(self):
+        self.write("src/common/a.cpp", "int global_thing() { return 2; }\n")
+        status, out = self.lint()
+        self.assertEqual(status, 1)
+        self.assertIn("DR007", out)
+
+    def test_dr008_raw_throw(self):
+        self.write("src/common/a.cpp",
+                   "namespace asyncdr {\n"
+                   'void f() { throw std::runtime_error("x"); }\n}\n')
+        status, out = self.lint()
+        self.assertEqual(status, 1)
+        self.assertIn("DR008", out)
+
+    def test_dr008_exempts_check_hpp(self):
+        self.write("src/common/check.hpp",
+                   "#pragma once\nnamespace asyncdr {\n"
+                   "[[noreturn]] void fail() { throw 1; }\n}\n")
+        status, out = self.lint()
+        self.assertEqual(status, 0, out)
+
+    def test_dr009_protocol_without_begin_phase(self):
+        self.write("src/protocols/runner.cpp",
+                   "namespace asyncdr {\n"
+                   "auto f = std::make_unique<FooPeer>();\n}\n")
+        self.write("src/protocols/foo.cpp",
+                   "namespace asyncdr {\n"
+                   "void FooPeer::on_start() { query(0); }\n}\n")
+        status, out = self.lint()
+        self.assertEqual(status, 1)
+        self.assertIn("DR009", out)
+        self.assertIn("FooPeer", out)
+
+    def test_dr009_attack_peers_exempt(self):
+        self.write("src/protocols/runner.cpp",
+                   "namespace asyncdr {\n"
+                   "auto f = std::make_unique<LiarPeer>();\n}\n")
+        self.write("src/protocols/attacks.cpp",
+                   "namespace asyncdr {\n"
+                   "void LiarPeer::on_start() {}\n}\n")
+        status, out = self.lint()
+        self.assertEqual(status, 0, out)
+
+    def test_dr010_thread_primitives(self):
+        self.write("src/dr/world.cpp",
+                   "namespace asyncdr {\nstd::mutex m;\n}\n")
+        status, out = self.lint()
+        self.assertEqual(status, 1)
+        self.assertIn("DR010", out)
+
+    def test_dr010_chaos_and_threads_exempt(self):
+        self.write("src/chaos/runner.cpp",
+                   "namespace asyncdr {\nstd::thread t;\n}\n")
+        self.write("src/common/threads.cpp",
+                   "namespace asyncdr {\nint n = "
+                   "std::thread::hardware_concurrency();\n}\n")
+        status, out = self.lint()
+        self.assertEqual(status, 0, out)
+
+
+class Suppressions(TreeCase):
+    def test_same_line_allow(self):
+        self.write("src/common/a.cpp",
+                   "namespace asyncdr {\n"
+                   "std::cout << 1;  // asyncdr-lint: allow(DR004) renderer\n"
+                   "}\n")
+        status, out = self.lint()
+        self.assertEqual(status, 0, out)
+
+    def test_comment_block_above_allow(self):
+        self.write("src/common/a.cpp",
+                   "namespace asyncdr {\n"
+                   "// asyncdr-lint: allow(DR004) this renderer's whole job\n"
+                   "// is console output, reason spans two comment lines.\n"
+                   "std::cout << 1;\n}\n")
+        status, out = self.lint()
+        self.assertEqual(status, 0, out)
+
+    def test_allow_does_not_leak_past_code_line(self):
+        self.write("src/common/a.cpp",
+                   "namespace asyncdr {\n"
+                   "// asyncdr-lint: allow(DR004)\n"
+                   "int x = 0;\n"
+                   "std::cout << x;\n}\n")
+        status, out = self.lint()
+        self.assertEqual(status, 1)
+
+    def test_allow_wrong_rule_does_not_suppress(self):
+        self.write("src/common/a.cpp",
+                   "namespace asyncdr {\n"
+                   "std::cout << 1;  // asyncdr-lint: allow(DR001)\n"
+                   "}\n")
+        status, out = self.lint()
+        self.assertEqual(status, 1)
+
+    def test_disable_file(self):
+        self.write("src/common/a.cpp",
+                   "// asyncdr-lint: disable-file(DR004) report renderer\n"
+                   "namespace asyncdr {\n"
+                   "std::cout << 1;\nstd::cerr << 2;\n}\n")
+        status, out = self.lint()
+        self.assertEqual(status, 0, out)
+
+
+class BaselineAndOutputs(TreeCase):
+    def test_baseline_roundtrip(self):
+        self.write("src/common/a.cpp",
+                   "namespace asyncdr {\nstd::cout << 1;\n}\n")
+        baseline = os.path.join(self.root, "baseline.json")
+        status, _ = run_lint("--root", self.root, "--baseline", baseline,
+                             "--write-baseline")
+        self.assertEqual(status, 0)
+        status, out = run_lint("--root", self.root, "--baseline", baseline)
+        self.assertEqual(status, 0, out)
+        self.assertIn("baselined", out)
+        # A NEW finding is still fatal.
+        self.write("src/common/b.cpp",
+                   "namespace asyncdr {\nstd::cout << 2;\n}\n")
+        status, out = run_lint("--root", self.root, "--baseline", baseline)
+        self.assertEqual(status, 1)
+        self.assertIn("b.cpp", out)
+
+    def test_baseline_survives_line_shifts(self):
+        self.write("src/common/a.cpp",
+                   "namespace asyncdr {\nstd::cout << 1;\n}\n")
+        baseline = os.path.join(self.root, "baseline.json")
+        run_lint("--root", self.root, "--baseline", baseline,
+                 "--write-baseline")
+        self.write("src/common/a.cpp",
+                   "namespace asyncdr {\nint pad;\nint pad2;\n"
+                   "std::cout << 1;\n}\n")
+        status, out = run_lint("--root", self.root, "--baseline", baseline)
+        self.assertEqual(status, 0, out)
+
+    def test_sarif_output(self):
+        self.write("src/common/a.cpp",
+                   "namespace asyncdr {\nstd::cout << 1;\n}\n")
+        sarif_path = os.path.join(self.root, "out.sarif")
+        status, _ = self.lint("--sarif", sarif_path)
+        self.assertEqual(status, 1)
+        with open(sarif_path, encoding="utf-8") as f:
+            doc = json.load(f)
+        self.assertEqual(doc["version"], "2.1.0")
+        run = doc["runs"][0]
+        self.assertGreaterEqual(len(run["tool"]["driver"]["rules"]), 8)
+        self.assertEqual(len(run["results"]), 1)
+        result = run["results"][0]
+        self.assertEqual(result["ruleId"], "DR004")
+        loc = result["locations"][0]["physicalLocation"]
+        self.assertEqual(loc["artifactLocation"]["uri"], "src/common/a.cpp")
+        self.assertEqual(loc["region"]["startLine"], 2)
+
+    def test_list_rules_documents_at_least_eight(self):
+        status, out = run_lint("--list-rules")
+        self.assertEqual(status, 0)
+        rule_ids = [line.split()[0] for line in out.splitlines()
+                    if line.startswith("DR")]
+        self.assertGreaterEqual(len(rule_ids), 8)
+        self.assertEqual(len(rule_ids), len(set(rule_ids)))
+
+    def test_every_rule_has_a_detection_test(self):
+        # Contract for contributors (DESIGN.md "Adding a rule"): each DRxxx
+        # must come with at least one test_drxxx_* method in RuleDetection.
+        detection = {name.split("_")[1] for name in dir(RuleDetection)
+                     if name.startswith("test_dr")}
+        for rule in lint.RULES:
+            self.assertIn(rule.id.lower(), detection,
+                          f"{rule.id} has no detection test")
+
+
+class SeededRegressionOnRealTree(unittest.TestCase):
+    """Copy the actual repo sources, inject a model violation into a protocol
+    file, and require the linter to catch it — proves the deployed rule set
+    guards the real tree, not just synthetic fixtures."""
+
+    def setUp(self):
+        self.root = tempfile.mkdtemp(prefix="asyncdr-lint-seeded-")
+        self.addCleanup(shutil.rmtree, self.root)
+        shutil.copytree(os.path.join(REPO_ROOT, "src"),
+                        os.path.join(self.root, "src"))
+
+    def test_real_tree_copy_is_clean(self):
+        status, out = run_lint("--root", self.root, "--no-baseline")
+        self.assertEqual(status, 0, out)
+
+    def test_injected_random_device_is_caught(self):
+        victim = os.path.join(self.root, "src", "protocols", "naive.cpp")
+        with open(victim, "a", encoding="utf-8") as f:
+            f.write("\nnamespace asyncdr::proto {\n"
+                    "static std::random_device entropy_leak;\n}\n")
+        status, out = run_lint("--root", self.root, "--no-baseline")
+        self.assertEqual(status, 1)
+        self.assertIn("DR002", out)
+        self.assertIn("naive.cpp", out)
+
+    def test_injected_wall_clock_is_caught(self):
+        victim = os.path.join(self.root, "src", "sim", "engine.cpp")
+        with open(victim, "a", encoding="utf-8") as f:
+            f.write("\nnamespace asyncdr::sim {\nlong boot_ns() { return "
+                    "std::chrono::steady_clock::now().time_since_epoch()"
+                    ".count(); }\n}\n")
+        status, out = run_lint("--root", self.root, "--no-baseline")
+        self.assertEqual(status, 1)
+        self.assertIn("DR001", out)
+
+    def test_injected_unaccounted_source_access_is_caught(self):
+        victim = os.path.join(self.root, "src", "protocols", "committee.cpp")
+        with open(victim, "a", encoding="utf-8") as f:
+            f.write("\nnamespace asyncdr::proto {\nvoid peek(dr::World& w) "
+                    "{ auto& x = w.source().data(); (void)x; }\n}\n")
+        status, out = run_lint("--root", self.root, "--no-baseline")
+        self.assertEqual(status, 1)
+        self.assertIn("DR003", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,141 @@
+"""Unit tests for tools/check_perfetto.py.
+
+Pins the validator's contract: exit 0 for a viewer-loadable trace, 1 for a
+schema violation, 2 for usage/parse errors — the statuses the ctest target
+and CI artifact checks key off.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TOOL = os.path.join(TOOLS_DIR, "check_perfetto.py")
+
+
+def slice_event(**over):
+    ev = {"name": "phase", "ph": "X", "pid": 1, "tid": 2, "ts": 0.0,
+          "dur": 5.0}
+    ev.update(over)
+    return ev
+
+
+def instant_event(**over):
+    ev = {"name": "drop", "ph": "i", "pid": 1, "tid": 2, "ts": 1.0, "s": "t"}
+    ev.update(over)
+    return ev
+
+
+def metadata_event():
+    return {"name": "process_name", "ph": "M", "pid": 1,
+            "args": {"name": "peer"}}
+
+
+class CheckPerfettoTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory(prefix="check-perfetto-test-")
+        self.addCleanup(self.dir.cleanup)
+
+    def trace(self, events, raw=None):
+        p = os.path.join(self.dir.name, "trace.json")
+        with open(p, "w", encoding="utf-8") as f:
+            if raw is not None:
+                f.write(raw)
+            else:
+                json.dump({"traceEvents": events}, f)
+        return p
+
+    def run_tool(self, *args):
+        proc = subprocess.run(
+            [sys.executable, TOOL, *args],
+            capture_output=True, text=True, check=False)
+        return proc.returncode, proc.stdout, proc.stderr
+
+    def test_valid_trace_passes(self):
+        path = self.trace(
+            [metadata_event(), slice_event(), instant_event()])
+        code, out, _ = self.run_tool(path)
+        self.assertEqual(code, 0, out)
+        self.assertIn("3 events", out)
+        self.assertIn("1 slices", out)
+        self.assertIn("1 instants", out)
+
+    def test_missing_trace_events_key_fails(self):
+        path = self.trace(None, raw=json.dumps({"other": []}))
+        code, _, err = self.run_tool(path)
+        self.assertEqual(code, 1)
+        self.assertIn("traceEvents", err)
+
+    def test_empty_trace_events_fails(self):
+        path = self.trace([])
+        code, _, err = self.run_tool(path)
+        self.assertEqual(code, 1)
+
+    def test_event_missing_required_key_fails(self):
+        for key in ("name", "ph", "pid"):
+            ev = slice_event()
+            del ev[key]
+            code, _, err = self.run_tool(self.trace([ev]))
+            self.assertEqual(code, 1, f"missing {key} accepted")
+            self.assertIn(key, err)
+
+    def test_unknown_phase_fails(self):
+        code, _, err = self.run_tool(self.trace([slice_event(ph="B")]))
+        self.assertEqual(code, 1)
+        self.assertIn("unexpected ph", err)
+
+    def test_timeline_event_missing_ts_or_tid_fails(self):
+        for key in ("ts", "tid"):
+            ev = instant_event()
+            del ev[key]
+            code, _, err = self.run_tool(self.trace([ev]))
+            self.assertEqual(code, 1, f"missing {key} accepted")
+
+    def test_slice_without_dur_fails(self):
+        ev = slice_event()
+        del ev["dur"]
+        code, _, err = self.run_tool(self.trace([ev]))
+        self.assertEqual(code, 1)
+        self.assertIn("dur", err)
+
+    def test_slice_with_negative_dur_fails(self):
+        code, _, err = self.run_tool(self.trace([slice_event(dur=-1.0)]))
+        self.assertEqual(code, 1)
+
+    def test_zero_dur_slice_passes(self):
+        code, out, _ = self.run_tool(self.trace([slice_event(dur=0)]))
+        self.assertEqual(code, 0, out)
+
+    def test_instant_without_scope_fails(self):
+        ev = instant_event()
+        del ev["s"]
+        code, _, err = self.run_tool(self.trace([ev]))
+        self.assertEqual(code, 1)
+        self.assertIn("scope", err)
+
+    def test_metadata_event_needs_no_timeline_fields(self):
+        code, out, _ = self.run_tool(self.trace([metadata_event()]))
+        self.assertEqual(code, 0, out)
+
+    def test_malformed_json_is_usage_error(self):
+        path = self.trace(None, raw="{broken")
+        code, _, err = self.run_tool(path)
+        self.assertEqual(code, 2)
+        self.assertIn("cannot read", err)
+
+    def test_missing_file_is_usage_error(self):
+        code, _, err = self.run_tool(
+            os.path.join(self.dir.name, "absent.json"))
+        self.assertEqual(code, 2)
+
+    def test_no_arguments_is_usage_error(self):
+        code, _, err = self.run_tool()
+        self.assertEqual(code, 2)
+        self.assertIn("Usage", err)
+
+
+if __name__ == "__main__":
+    unittest.main()

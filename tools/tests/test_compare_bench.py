@@ -1,0 +1,146 @@
+"""Unit tests for tools/compare_bench.py.
+
+The tool is exercised as a subprocess (it sys.exit()s from its loaders), so
+these tests pin the exact exit-status contract CI relies on: 0 = within
+tolerance, 1 = regression, 2 = usage/parse error.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TOOL = os.path.join(TOOLS_DIR, "compare_bench.py")
+
+
+def entry(section="s", label="l", q=100.0, t=10.0, m=1000.0, failures=0):
+    return {"section": section, "label": label, "q_mean": q, "t_mean": t,
+            "m_mean": m, "failures": failures}
+
+
+def bench_doc(entries, schema="asyncdr-bench-v1", bench="bench_test"):
+    return {"schema": schema, "bench": bench, "entries": entries}
+
+
+class CompareBenchTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory(prefix="compare-bench-test-")
+        self.addCleanup(self.dir.cleanup)
+
+    def path(self, name, doc):
+        p = os.path.join(self.dir.name, name)
+        with open(p, "w", encoding="utf-8") as f:
+            if isinstance(doc, str):
+                f.write(doc)
+            else:
+                json.dump(doc, f)
+        return p
+
+    def run_tool(self, *args):
+        proc = subprocess.run(
+            [sys.executable, TOOL, *args],
+            capture_output=True, text=True, check=False)
+        return proc.returncode, proc.stdout, proc.stderr
+
+    def test_identical_files_pass(self):
+        base = self.path("base.json", bench_doc([entry()]))
+        fresh = self.path("fresh.json", bench_doc([entry()]))
+        code, out, _ = self.run_tool(base, fresh)
+        self.assertEqual(code, 0, out)
+        self.assertIn("0 problem(s)", out)
+
+    def test_within_tolerance_passes(self):
+        base = self.path("base.json", bench_doc([entry(q=100.0)]))
+        fresh = self.path("fresh.json", bench_doc([entry(q=110.0)]))
+        code, out, _ = self.run_tool(base, fresh, "--tolerance", "0.25")
+        self.assertEqual(code, 0, out)
+
+    def test_exactly_at_tolerance_passes(self):
+        # The gate is strictly-greater-than: a 25% delta under --tolerance
+        # 0.25 is allowed.
+        base = self.path("base.json", bench_doc([entry(q=100.0)]))
+        fresh = self.path("fresh.json", bench_doc([entry(q=125.0)]))
+        code, out, _ = self.run_tool(base, fresh, "--tolerance", "0.25")
+        self.assertEqual(code, 0, out)
+
+    def test_beyond_tolerance_fails(self):
+        base = self.path("base.json", bench_doc([entry(q=100.0)]))
+        fresh = self.path("fresh.json", bench_doc([entry(q=130.0)]))
+        code, out, _ = self.run_tool(base, fresh, "--tolerance", "0.25")
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+        self.assertIn("q_mean", out)
+
+    def test_zero_baseline_metric_is_guarded(self):
+        # Relative diff against ~0 baseline must not divide by zero, and any
+        # real movement off zero should trip the gate.
+        base = self.path("base.json", bench_doc([entry(q=0.0)]))
+        fresh = self.path("fresh.json", bench_doc([entry(q=0.5)]))
+        code, out, _ = self.run_tool(base, fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+
+    def test_failures_increase_fails_even_within_tolerance(self):
+        base = self.path("base.json", bench_doc([entry(failures=0)]))
+        fresh = self.path("fresh.json", bench_doc([entry(failures=2)]))
+        code, out, _ = self.run_tool(base, fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("failures rose 0 -> 2", out)
+
+    def test_failures_decrease_passes(self):
+        base = self.path("base.json", bench_doc([entry(failures=3)]))
+        fresh = self.path("fresh.json", bench_doc([entry(failures=0)]))
+        code, out, _ = self.run_tool(base, fresh)
+        self.assertEqual(code, 0, out)
+
+    def test_entry_missing_in_fresh_fails(self):
+        base = self.path("base.json", bench_doc(
+            [entry(label="kept"), entry(label="dropped")]))
+        fresh = self.path("fresh.json", bench_doc([entry(label="kept")]))
+        code, out, _ = self.run_tool(base, fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("missing in fresh run", out)
+
+    def test_new_entry_in_fresh_is_allowed_but_noted(self):
+        base = self.path("base.json", bench_doc([entry(label="old")]))
+        fresh = self.path("fresh.json", bench_doc(
+            [entry(label="old"), entry(label="new-series")]))
+        code, out, _ = self.run_tool(base, fresh)
+        self.assertEqual(code, 0, out)
+        self.assertIn("note: new entry", out)
+
+    def test_metric_missing_on_either_side_is_skipped(self):
+        lean = {"section": "s", "label": "l", "q_mean": 100.0}
+        base = self.path("base.json", bench_doc([lean]))
+        fresh = self.path("fresh.json", bench_doc([entry(q=100.0)]))
+        code, out, _ = self.run_tool(base, fresh)
+        self.assertEqual(code, 0, out)
+        self.assertIn("compared 1 metric(s)", out)
+
+    def test_malformed_json_is_usage_error(self):
+        base = self.path("base.json", "{not json")
+        fresh = self.path("fresh.json", bench_doc([entry()]))
+        code, _, err = self.run_tool(base, fresh)
+        self.assertEqual(code, 2)
+        self.assertIn("cannot read", err)
+
+    def test_wrong_schema_is_usage_error(self):
+        base = self.path("base.json", bench_doc([entry()], schema="v999"))
+        fresh = self.path("fresh.json", bench_doc([entry()]))
+        code, _, err = self.run_tool(base, fresh)
+        self.assertEqual(code, 2)
+        self.assertIn("asyncdr-bench-v1", err)
+
+    def test_missing_baseline_file_is_usage_error(self):
+        fresh = self.path("fresh.json", bench_doc([entry()]))
+        code, _, err = self.run_tool(
+            os.path.join(self.dir.name, "nope.json"), fresh)
+        self.assertEqual(code, 2)
+        self.assertIn("cannot read", err)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -72,24 +72,32 @@ TEST(Jsonl, OverflowAppendsAMetaLineWithTheCutoff) {
   s.honest = proto::make_committee();
   std::string out;
   sim::Trace* trace = nullptr;
+  // The Trace dies with the World inside run_scenario, so everything the
+  // assertions need is copied out in post_run.
+  std::size_t kept_events = 0;
+  std::size_t dropped_events = 0;
+  double first_dropped_at = 0.0;
   s.instrument = [&](dr::World& world) {
     trace = &world.enable_trace(/*capacity=*/8);
   };
   s.post_run = [&](dr::World&, const dr::RunReport&) {
     out = to_jsonl(*trace);
+    kept_events = trace->events().size();
+    dropped_events = trace->dropped_events();
+    first_dropped_at = trace->first_dropped_at();
   };
   ASSERT_TRUE(proto::run_scenario(s).ok());
-  ASSERT_GT(trace->dropped_events(), 0u);
+  ASSERT_GT(dropped_events, 0u);
 
   const auto lines = split_lines(out);
-  ASSERT_EQ(lines.size(), trace->events().size() + 1);
+  ASSERT_EQ(lines.size(), kept_events + 1);
   const auto meta = Json::parse(lines.back());
   ASSERT_TRUE(meta.has_value()) << lines.back();
   EXPECT_EQ(meta->find("kind")->as_string(), "meta");
   EXPECT_EQ(meta->find("dropped_events")->as_int(),
-            static_cast<std::int64_t>(trace->dropped_events()));
+            static_cast<std::int64_t>(dropped_events));
   EXPECT_DOUBLE_EQ(meta->find("first_dropped_at")->as_number(),
-                   trace->first_dropped_at());
+                   first_dropped_at);
 }
 
 // The acceptance gate for the Perfetto exporter: dump the document, parse

@@ -34,13 +34,13 @@ class CrashPlan {
   void add_at_time(sim::PeerId peer, sim::Time at);
   void add_after_sends(sim::PeerId peer, std::uint64_t sends);
 
-  std::size_t size() const { return specs_.size(); }
-  const std::vector<CrashSpec>& specs() const { return specs_; }
+  [[nodiscard]] std::size_t size() const { return specs_.size(); }
+  [[nodiscard]] const std::vector<CrashSpec>& specs() const { return specs_; }
 
   /// Registers every crash with the world (marks the peers faulty).
   void apply(dr::World& world) const;
 
-  std::string to_string() const;
+  [[nodiscard]] std::string to_string() const;
 
   // ---- Generators. All crash exactly `count` distinct peers. ----
 

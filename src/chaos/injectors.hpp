@@ -40,7 +40,7 @@ struct ChaosOptions {
   bool inject_committee_bug = false;
 
   /// Renders the options as CLI flags (part of the one-line repro).
-  std::string to_flags() const;
+  [[nodiscard]] std::string to_flags() const;
 };
 
 /// Static description of one protocol the chaos grid can sweep: how to

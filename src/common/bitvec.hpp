@@ -33,10 +33,10 @@ class BitVec {
     return v;
   }
 
-  std::size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
 
-  bool get(std::size_t i) const;
+  [[nodiscard]] bool get(std::size_t i) const;
   void set(std::size_t i, bool value);
   void flip(std::size_t i);
 
@@ -44,13 +44,13 @@ class BitVec {
   void push_back(bool value);
 
   /// Returns the sub-vector [pos, pos+len).
-  BitVec slice(std::size_t pos, std::size_t len) const;
+  [[nodiscard]] BitVec slice(std::size_t pos, std::size_t len) const;
 
   /// Overwrites bits [pos, pos+src.size()) with the contents of `src`.
   void splice(std::size_t pos, const BitVec& src);
 
   /// Number of set bits.
-  std::size_t popcount() const;
+  [[nodiscard]] std::size_t popcount() const;
 
   // ---- Mask algebra (operands must have equal size). ----
 
@@ -61,9 +61,9 @@ class BitVec {
   /// this &= ~other.
   void andnot_with(const BitVec& other);
   /// True if every set bit of *this is also set in other.
-  bool is_subset_of(const BitVec& other) const;
+  [[nodiscard]] bool is_subset_of(const BitVec& other) const;
   /// Number of bits set in both.
-  std::size_t count_and(const BitVec& other) const;
+  [[nodiscard]] std::size_t count_and(const BitVec& other) const;
 
   /// Calls fn(index) for every set bit, in increasing index order.
   template <typename F>
@@ -80,14 +80,14 @@ class BitVec {
 
   /// First index where *this and other differ; nullopt if equal.
   /// Both vectors must have the same size.
-  std::optional<std::size_t> first_difference(const BitVec& other) const;
+  [[nodiscard]] std::optional<std::size_t> first_difference(const BitVec& other) const;
 
   /// '0'/'1' rendering (test/debug convenience).
-  std::string to_string() const;
+  [[nodiscard]] std::string to_string() const;
 
   /// 64-bit FNV-style hash over content (used for map keys of segment
   /// strings; not cryptographic).
-  std::uint64_t hash() const;
+  [[nodiscard]] std::uint64_t hash() const;
 
   bool operator==(const BitVec& other) const;
   bool operator!=(const BitVec& other) const { return !(*this == other); }

@@ -14,7 +14,7 @@ struct Interval {
   std::size_t lo = 0;
   std::size_t hi = 0;
 
-  std::size_t length() const { return hi - lo; }
+  [[nodiscard]] std::size_t length() const { return hi - lo; }
   bool operator==(const Interval&) const = default;
 };
 
@@ -33,9 +33,9 @@ class IntervalSet {
   /// A single interval [lo, hi).
   static IntervalSet of(std::size_t lo, std::size_t hi);
 
-  bool empty() const { return intervals_.empty(); }
-  std::size_t count() const { return count_; }
-  bool contains(std::size_t i) const;
+  [[nodiscard]] bool empty() const { return intervals_.empty(); }
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] bool contains(std::size_t i) const;
 
   void insert(std::size_t i) { insert(i, i + 1); }
   void insert(std::size_t lo, std::size_t hi);
@@ -49,14 +49,14 @@ class IntervalSet {
 
   /// Splits the set into `parts` pieces whose sizes differ by at most one,
   /// in index order. Used to spread unknown bits evenly over peers.
-  std::vector<IntervalSet> split_evenly(std::size_t parts) const;
+  [[nodiscard]] std::vector<IntervalSet> split_evenly(std::size_t parts) const;
 
   /// Materializes the member indices in increasing order.
-  std::vector<std::size_t> to_indices() const;
+  [[nodiscard]] std::vector<std::size_t> to_indices() const;
 
-  const std::vector<Interval>& intervals() const { return intervals_; }
+  [[nodiscard]] const std::vector<Interval>& intervals() const { return intervals_; }
 
-  std::string to_string() const;
+  [[nodiscard]] std::string to_string() const;
 
   bool operator==(const IntervalSet&) const = default;
 

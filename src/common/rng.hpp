@@ -42,7 +42,7 @@ class Rng {
   bool flip(double p = 0.5);
 
   /// Derives an independent child stream; deterministic in (this seed, tag).
-  Rng split(std::uint64_t tag) const;
+  [[nodiscard]] Rng split(std::uint64_t tag) const;
 
   /// Fisher–Yates shuffle.
   template <typename T>

@@ -13,21 +13,21 @@ class Summary {
   void add(double x);
   void add_all(const std::vector<double>& xs);
 
-  std::size_t count() const { return samples_.size(); }
-  bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
 
-  double min() const;
-  double max() const;
-  double sum() const;
-  double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double mean() const;
   /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
-  double stddev() const;
+  [[nodiscard]] double stddev() const;
   /// Linear-interpolated percentile, q in [0, 100].
-  double percentile(double q) const;
-  double median() const { return percentile(50.0); }
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
 
   /// "mean ± stddev [min, max]" rendering for logs.
-  std::string to_string() const;
+  [[nodiscard]] std::string to_string() const;
 
  private:
   void ensure_sorted() const;

@@ -22,10 +22,10 @@ class Table {
     add_row({to_cell(args)...});
   }
 
-  std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
 
   /// Renders with a header underline and column alignment.
-  std::string render() const;
+  [[nodiscard]] std::string render() const;
 
   /// Renders and writes to stdout.
   void print() const;

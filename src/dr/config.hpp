@@ -22,16 +22,16 @@ struct Config {
   std::uint64_t seed = 1;      ///< master seed for all randomness
 
   /// t = floor(beta * k): the maximum number of faulty peers.
-  std::size_t max_faulty() const;
+  [[nodiscard]] std::size_t max_faulty() const;
 
   /// (1 - beta) * k rounded down to the guaranteed count of nonfaulty peers,
   /// i.e. k - max_faulty().
-  std::size_t min_honest() const { return k - max_faulty(); }
+  [[nodiscard]] std::size_t min_honest() const { return k - max_faulty(); }
 
   /// Throws contract_violation if the configuration is malformed.
   void validate() const;
 
-  std::string to_string() const;
+  [[nodiscard]] std::string to_string() const;
 };
 
 }  // namespace asyncdr::dr

@@ -26,15 +26,15 @@ class Peer : public sim::Receiver {
   Peer& operator=(const Peer&) = delete;
   ~Peer() override;
 
-  sim::PeerId id() const { return id_; }
+  [[nodiscard]] sim::PeerId id() const { return id_; }
   /// Number of peers in the world.
-  std::size_t k() const;
+  [[nodiscard]] std::size_t k() const;
   /// Number of input bits.
-  std::size_t n() const;
+  [[nodiscard]] std::size_t n() const;
 
-  bool terminated() const { return terminated_; }
-  const BitVec& output() const { return output_; }
-  sim::Time termination_time() const { return termination_time_; }
+  [[nodiscard]] bool terminated() const { return terminated_; }
+  [[nodiscard]] const BitVec& output() const { return output_; }
+  [[nodiscard]] sim::Time termination_time() const { return termination_time_; }
 
   /// Invoked once at the peer's (adversary-chosen) start time.
   virtual void on_start() = 0;
@@ -42,7 +42,7 @@ class Peer : public sim::Receiver {
   /// One-line description of what the peer is doing / waiting on, for the
   /// stall report a run emits when peers fail to terminate. Protocols
   /// override this to expose their wait state (phase, pending quorums, ...).
-  virtual std::string status() const;
+  [[nodiscard]] virtual std::string status() const;
 
   /// sim::Receiver — routes to on_message unless terminated/crashed.
   void deliver(const sim::Message& msg) final;
@@ -58,7 +58,7 @@ class Peer : public sim::Receiver {
   BitVec query_range(std::size_t lo, std::size_t len);
   BitVec query_indices(const std::vector<std::size_t>& indices);
 
-  sim::Time now() const;
+  [[nodiscard]] sim::Time now() const;
 
   /// Opens a named protocol phase for this peer (closing the previous one).
   /// All source queries and sends from now until the next begin_phase() or
@@ -74,7 +74,7 @@ class Peer : public sim::Receiver {
   Rng& rng() { return rng_; }
 
   World& world() { return *world_; }
-  const World& world() const { return *world_; }
+  [[nodiscard]] const World& world() const { return *world_; }
 
  private:
   friend class World;

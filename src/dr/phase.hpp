@@ -29,7 +29,7 @@ struct PhaseSpan {
   std::uint64_t unit_messages = 0;
   std::uint64_t payload_messages = 0;
 
-  sim::Time span() const { return end < begin ? 0 : end - begin; }
+  [[nodiscard]] sim::Time span() const { return end < begin ? 0 : end - begin; }
 };
 
 /// Name of the implicit span that absorbs unannotated activity.
@@ -54,7 +54,7 @@ class PhaseTracker {
   /// Closes every still-open span — called when the run ends.
   void close_all(sim::Time at);
 
-  const std::vector<PhaseSpan>& spans() const { return spans_; }
+  [[nodiscard]] const std::vector<PhaseSpan>& spans() const { return spans_; }
 
  private:
   std::size_t open_span(sim::PeerId peer, std::string name, sim::Time now);

@@ -25,8 +25,8 @@ class Source {
  public:
   Source(BitVec data, std::size_t k);
 
-  std::size_t n() const { return data_.size(); }
-  std::size_t peers() const { return counts_.size(); }
+  [[nodiscard]] std::size_t n() const { return data_.size(); }
+  [[nodiscard]] std::size_t peers() const { return counts_.size(); }
 
   /// Queries one bit on behalf of peer `by`; costs 1 bit.
   bool query(sim::PeerId by, std::size_t index);
@@ -39,17 +39,17 @@ class Source {
   BitVec query_indices(sim::PeerId by, const std::vector<std::size_t>& indices);
 
   /// Bits queried so far by one peer.
-  std::uint64_t bits_queried(sim::PeerId by) const;
+  [[nodiscard]] std::uint64_t bits_queried(sim::PeerId by) const;
 
   /// Total bits the source has served across all peers — maintained as its
   /// own counter (not derived from the per-peer array) so consistency tests
   /// can cross-check the two accounting paths.
-  std::uint64_t total_bits_served() const { return total_bits_served_; }
+  [[nodiscard]] std::uint64_t total_bits_served() const { return total_bits_served_; }
 
   /// When enabled, records *which* indices each peer queried — used by the
   /// lower-bound adversary to find a bit the victim never looked at.
   void enable_index_recording(bool on) { record_indices_ = on; }
-  const IntervalSet& queried_indices(sim::PeerId by) const;
+  [[nodiscard]] const IntervalSet& queried_indices(sim::PeerId by) const;
 
   /// Observer invoked on every accounted query batch (peer, bits) — wired
   /// to the execution trace when tracing is enabled.
@@ -59,7 +59,7 @@ class Source {
   }
 
   /// Ground truth, for verification only (peers must go through query()).
-  const BitVec& data() const { return data_; }
+  [[nodiscard]] const BitVec& data() const { return data_; }
 
   /// Swaps in a different array without resetting counters. Only the
   /// two-world lower-bound constructions use this.
@@ -77,7 +77,7 @@ class Source {
  private:
   void account(sim::PeerId by, std::size_t lo, std::size_t hi);
 
-  const BitVec& view_for(sim::PeerId by) const;
+  [[nodiscard]] const BitVec& view_for(sim::PeerId by) const;
 
   BitVec data_;
   std::vector<std::uint64_t> counts_;

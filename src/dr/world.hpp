@@ -51,7 +51,7 @@ struct StallReport {
   /// this instant the per-peer last_event lines say nothing.
   sim::Time trace_cutoff = -1;
 
-  std::string to_string() const;
+  [[nodiscard]] std::string to_string() const;
 };
 
 /// Outcome of one execution.
@@ -61,7 +61,7 @@ struct RunReport {
   bool budget_exhausted = false; ///< engine event budget hit (runaway)
 
   /// The Download correctness predicate: terminated, correct, not runaway.
-  bool ok() const { return all_terminated && all_correct && !budget_exhausted; }
+  [[nodiscard]] bool ok() const { return all_terminated && all_correct && !budget_exhausted; }
 
   std::size_t query_complexity = 0;      ///< Q: max bits queried, nonfaulty
   sim::Time time_complexity = 0;         ///< T: last nonfaulty termination
@@ -96,15 +96,15 @@ struct RunReport {
   std::vector<PhaseSpan> phase_spans;
 
   /// Aligned per-phase Q/T/M table (one row per phase).
-  std::string phase_table() const;
+  [[nodiscard]] std::string phase_table() const;
   /// Aligned per-peer breakdown (one row per phase span).
-  std::string peer_phase_table() const;
+  [[nodiscard]] std::string peer_phase_table() const;
 
   /// Rendered StallReport, filled iff the run stalled (budget exhausted or
   /// unterminated nonfaulty peers); empty on clean runs.
   std::string stall;
 
-  std::string to_string() const;
+  [[nodiscard]] std::string to_string() const;
 };
 
 /// One DR-model instance.
@@ -113,7 +113,7 @@ class World : private sim::NetworkObserver {
   /// input.size() must equal cfg.n.
   World(Config cfg, BitVec input);
 
-  const Config& config() const { return cfg_; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
   sim::Engine& engine() { return engine_; }
   sim::Network& network() { return net_; }
   Source& source() { return source_; }
@@ -126,8 +126,8 @@ class World : private sim::NetworkObserver {
   /// Marks a peer as faulty: excluded from the correctness predicate and
   /// from all complexity measures. Byzantine attack peers must be marked.
   void mark_faulty(sim::PeerId id);
-  bool is_faulty(sim::PeerId id) const;
-  std::size_t faulty_count() const;
+  [[nodiscard]] bool is_faulty(sim::PeerId id) const;
+  [[nodiscard]] std::size_t faulty_count() const;
 
   /// Crash-fault helpers; both imply mark_faulty(id).
   void schedule_crash_at(sim::PeerId id, sim::Time t);
@@ -159,7 +159,7 @@ class World : private sim::NetworkObserver {
 
   /// Phase spans recorded so far (complete after run(); also copied into
   /// RunReport::phase_spans).
-  const std::vector<PhaseSpan>& phase_spans() const {
+  [[nodiscard]] const std::vector<PhaseSpan>& phase_spans() const {
     return phase_tracker_.spans();
   }
 
@@ -169,11 +169,11 @@ class World : private sim::NetworkObserver {
 
   /// Builds the stall diagnostics for the current world state (normally
   /// invoked by run() on a stalled outcome; exposed for tests and tools).
-  StallReport build_stall_report(bool budget_exhausted) const;
+  [[nodiscard]] StallReport build_stall_report(bool budget_exhausted) const;
 
   /// Per-peer RNG stream used to bind peers; exposed so adversaries can
   /// derive their own independent streams from the same master seed.
-  Rng adversary_rng(std::uint64_t tag) const;
+  [[nodiscard]] Rng adversary_rng(std::uint64_t tag) const;
 
  private:
   void install_send_hook_if_needed();

@@ -36,37 +36,37 @@ class Json {
   static Json array() { Json j; j.type_ = Type::kArray; return j; }
   static Json object() { Json j; j.type_ = Type::kObject; return j; }
 
-  Type type() const { return type_; }
-  bool is_null() const { return type_ == Type::kNull; }
-  bool is_number() const { return type_ == Type::kNumber; }
-  bool is_string() const { return type_ == Type::kString; }
-  bool is_array() const { return type_ == Type::kArray; }
-  bool is_object() const { return type_ == Type::kObject; }
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
 
-  bool as_bool() const { return bool_; }
-  double as_number() const { return num_; }
-  std::int64_t as_int() const {
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return num_; }
+  [[nodiscard]] std::int64_t as_int() const {
     return int_valued_ ? int_ : static_cast<std::int64_t>(num_);
   }
-  const std::string& as_string() const { return str_; }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
 
   /// Array ops. push_back converts null values into arrays on first use.
   void push_back(Json v);
-  std::size_t size() const { return items_.size(); }
-  const Json& at(std::size_t i) const { return items_[i].second; }
-  const std::vector<std::pair<std::string, Json>>& members() const {
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] const Json& at(std::size_t i) const { return items_[i].second; }
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members() const {
     return items_;
   }
 
   /// Object ops. operator[] inserts a null member when absent (and converts
   /// a null value into an object on first use); find returns nullptr.
   Json& operator[](const std::string& key);
-  const Json* find(const std::string& key) const;
+  [[nodiscard]] const Json* find(const std::string& key) const;
 
   /// Serializes. indent < 0 emits a single line; otherwise pretty-prints
   /// with that many spaces per level. Numbers that were constructed from
   /// integers print without a decimal point.
-  std::string dump(int indent = -1) const;
+  [[nodiscard]] std::string dump(int indent = -1) const;
 
   /// Parses a complete JSON document (trailing garbage is an error).
   static std::optional<Json> parse(std::string_view text);

@@ -22,7 +22,7 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 class Counter {
  public:
   void add(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
 
  private:
   std::uint64_t value_ = 0;
@@ -32,7 +32,7 @@ class Counter {
 class Gauge {
  public:
   void set(double v) { value_ = v; }
-  double value() const { return value_; }
+  [[nodiscard]] double value() const { return value_; }
 
  private:
   double value_ = 0;
@@ -47,13 +47,13 @@ class Histogram {
 
   void observe(double v);
 
-  std::uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return min_; }  ///< 0 when empty
-  double max() const { return max_; }  ///< 0 when empty
-  const std::vector<double>& bounds() const { return bounds_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return min_; }  ///< 0 when empty
+  [[nodiscard]] double max() const { return max_; }  ///< 0 when empty
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
   /// bounds().size() + 1 entries; the last is the overflow bucket.
-  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
 
   /// Power-of-two bounds 1, 2, 4, ... (`buckets` of them) — the default
   /// shape for bit/byte size distributions.
@@ -82,8 +82,8 @@ class MetricsRegistry {
 
   /// Full dump: {"schema": "asyncdr-metrics-v1", "counters": [...],
   /// "gauges": [...], "histograms": [...]}, series sorted by (name, labels).
-  Json snapshot() const;
-  std::string to_json_string(int indent = 2) const;
+  [[nodiscard]] Json snapshot() const;
+  [[nodiscard]] std::string to_json_string(int indent = 2) const;
 
  private:
   using Key = std::pair<std::string, std::string>;  // (name, encoded labels)

@@ -35,12 +35,12 @@ struct DynamicRunResult {
 
   /// The static-data guarantee, transplanted: everyone holds the final
   /// array. Expected to FAIL once mutations land mid-run.
-  bool download_guarantee() const {
+  [[nodiscard]] bool download_guarantee() const {
     return all_terminated && agree_with_final == nonfaulty;
   }
   /// The weaker property one might hope for: all peers agree on *some*
   /// snapshot. Also fails in general — the experiment's point.
-  bool agreement_only() const {
+  [[nodiscard]] bool agreement_only() const {
     return all_terminated && distinct_outputs <= 1;
   }
 };

@@ -33,7 +33,7 @@ struct OdcResult {
   std::size_t download_failures = 0;      ///< failed Download runs
   bool odd_satisfied = true;              ///< honest-range check
 
-  bool ok() const { return odd_satisfied && download_failures == 0; }
+  [[nodiscard]] bool ok() const { return odd_satisfied && download_failures == 0; }
 };
 
 /// Theorem 4.1 baseline. `nodes` oracle nodes, each sampling a rotated

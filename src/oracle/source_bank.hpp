@@ -31,19 +31,19 @@ class SourceBank {
   /// cell values (far outside the honest range).
   static SourceBank build(const Spec& spec);
 
-  std::size_t count() const { return sources_.size(); }
-  std::size_t byzantine_count() const;
-  const ValueSource& source(std::size_t i) const;
-  bool is_byzantine(std::size_t i) const;
+  [[nodiscard]] std::size_t count() const { return sources_.size(); }
+  [[nodiscard]] std::size_t byzantine_count() const;
+  [[nodiscard]] const ValueSource& source(std::size_t i) const;
+  [[nodiscard]] bool is_byzantine(std::size_t i) const;
 
   /// [min, max] of honest sources' values for one cell — the §4 honest
   /// range that every published value must fall into (ODD).
-  std::pair<std::int64_t, std::int64_t> honest_range(std::size_t cell) const;
+  [[nodiscard]] std::pair<std::int64_t, std::int64_t> honest_range(std::size_t cell) const;
 
   /// True if `value` lies in the honest range of `cell`.
-  bool in_honest_range(std::size_t cell, std::int64_t value) const;
+  [[nodiscard]] bool in_honest_range(std::size_t cell, std::int64_t value) const;
 
-  const Spec& spec() const { return spec_; }
+  [[nodiscard]] const Spec& spec() const { return spec_; }
 
  private:
   SourceBank(Spec spec, std::vector<ValueSource> sources,

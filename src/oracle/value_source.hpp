@@ -17,21 +17,21 @@ class ValueSource {
  public:
   ValueSource(std::vector<std::int64_t> cells, std::size_t value_bits);
 
-  std::size_t cells() const { return cells_.size(); }
-  std::size_t value_bits() const { return value_bits_; }
+  [[nodiscard]] std::size_t cells() const { return cells_.size(); }
+  [[nodiscard]] std::size_t value_bits() const { return value_bits_; }
   /// Total bit-length of the encoded array (= cells * value_bits).
-  std::size_t total_bits() const { return bits_.size(); }
+  [[nodiscard]] std::size_t total_bits() const { return bits_.size(); }
 
   /// Whole-cell read, as the naive ODC performs it.
-  std::int64_t read(std::size_t cell) const;
+  [[nodiscard]] std::int64_t read(std::size_t cell) const;
 
   /// The array's bit encoding (cell-major, LSB-first within a cell) — what
   /// a Download protocol instance retrieves.
-  const BitVec& bits() const { return bits_; }
+  [[nodiscard]] const BitVec& bits() const { return bits_; }
 
   /// Decodes cell `cell` out of an arbitrary downloaded bit array with this
   /// source's geometry.
-  std::int64_t decode(const BitVec& downloaded, std::size_t cell) const;
+  [[nodiscard]] std::int64_t decode(const BitVec& downloaded, std::size_t cell) const;
 
  private:
   std::vector<std::int64_t> cells_;

@@ -35,8 +35,8 @@ class GarbageByzPeer final : public dr::Peer {
 
  private:
   struct Noise final : sim::Payload {
-    std::size_t size_bits() const override { return 64; }
-    std::string type_name() const override { return "attack::Noise"; }
+    [[nodiscard]] std::size_t size_bits() const override { return 64; }
+    [[nodiscard]] std::string type_name() const override { return "attack::Noise"; }
   };
   std::size_t sent_ = 0;
 };

@@ -34,8 +34,8 @@ struct Report final : sim::Payload {
 
   Report(std::size_t cy, std::size_t sg, BitVec v)
       : cycle(cy), seg(sg), value(std::move(v)) {}
-  std::size_t size_bits() const override { return value.size() + 64; }
-  std::string type_name() const override { return "rnd::Report"; }
+  [[nodiscard]] std::size_t size_bits() const override { return value.size() + 64; }
+  [[nodiscard]] std::string type_name() const override { return "rnd::Report"; }
 };
 
 }  // namespace rnd
@@ -49,10 +49,10 @@ class TwoCyclePeer final : public dr::Peer {
 
   /// Bits spent on decision-tree separators (diagnostics for the benches;
   /// also part of the regular query accounting).
-  std::size_t tree_queries() const { return tree_queries_; }
+  [[nodiscard]] std::size_t tree_queries() const { return tree_queries_; }
   /// Segments that had no tau-frequent candidate and were re-queried in
   /// full (the w.h.p. failure path; benches report its frequency).
-  std::size_t fallback_segments() const { return fallback_segments_; }
+  [[nodiscard]] std::size_t fallback_segments() const { return fallback_segments_; }
 
  protected:
   void on_message(sim::PeerId from, const sim::Payload& payload) override;

@@ -30,9 +30,9 @@ class MultiCyclePeer final : public dr::Peer {
 
   void on_start() override;
 
-  std::size_t tree_queries() const { return tree_queries_; }
-  std::size_t fallback_segments() const { return fallback_segments_; }
-  std::size_t cycles_run() const { return cycle_; }
+  [[nodiscard]] std::size_t tree_queries() const { return tree_queries_; }
+  [[nodiscard]] std::size_t fallback_segments() const { return fallback_segments_; }
+  [[nodiscard]] std::size_t cycles_run() const { return cycle_; }
 
  protected:
   void on_message(sim::PeerId from, const sim::Payload& payload) override;

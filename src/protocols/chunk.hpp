@@ -17,14 +17,14 @@ struct BitChunk {
   BitChunk() = default;
   BitChunk(IntervalSet idx, BitVec vals);
 
-  std::size_t count() const { return indices.count(); }
-  bool empty() const { return indices.empty(); }
+  [[nodiscard]] std::size_t count() const { return indices.count(); }
+  [[nodiscard]] bool empty() const { return indices.empty(); }
 
   /// Wire size: one bit per value plus two 64-bit bounds per interval.
-  std::size_t size_bits() const;
+  [[nodiscard]] std::size_t size_bits() const;
 
   /// True if this chunk provides a value for every index in `wanted`.
-  bool covers(const IntervalSet& wanted) const;
+  [[nodiscard]] bool covers(const IntervalSet& wanted) const;
 
   /// Writes the chunk's values into `out` and adds the indices to `known`.
   void apply_to(BitVec& out, IntervalSet& known) const;
@@ -46,11 +46,11 @@ struct MaskChunk {
   MaskChunk() = default;
   MaskChunk(BitVec m, BitVec vals);
 
-  std::size_t count() const { return values.size(); }
-  bool empty() const { return values.empty(); }
+  [[nodiscard]] std::size_t count() const { return values.size(); }
+  [[nodiscard]] bool empty() const { return values.empty(); }
 
   /// Wire size: data bits + constant header (see struct comment).
-  std::size_t size_bits() const { return values.size() + 64; }
+  [[nodiscard]] std::size_t size_bits() const { return values.size() + 64; }
 
   /// Writes values into `out`, sets the corresponding bits of `known_mask`.
   void apply_to(BitVec& out, BitVec& known_mask) const;

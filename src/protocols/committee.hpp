@@ -24,16 +24,16 @@ class CommitteeAssignment {
  public:
   CommitteeAssignment(std::size_t n, std::size_t k, std::size_t t);
 
-  std::size_t committee_size() const { return c_; }
-  std::size_t threshold() const { return t_ + 1; }
+  [[nodiscard]] std::size_t committee_size() const { return c_; }
+  [[nodiscard]] std::size_t threshold() const { return t_ + 1; }
 
-  bool is_member(sim::PeerId p, std::size_t bit) const;
+  [[nodiscard]] bool is_member(sim::PeerId p, std::size_t bit) const;
   /// Position of p within bit's committee (0..c-1). p must be a member.
-  std::size_t position(sim::PeerId p, std::size_t bit) const;
+  [[nodiscard]] std::size_t position(sim::PeerId p, std::size_t bit) const;
   /// Bits whose committee contains p, in increasing order.
-  std::vector<std::size_t> bits_of(sim::PeerId p) const;
+  [[nodiscard]] std::vector<std::size_t> bits_of(sim::PeerId p) const;
   /// The committee of a bit, in position order.
-  std::vector<sim::PeerId> members_of(std::size_t bit) const;
+  [[nodiscard]] std::vector<sim::PeerId> members_of(std::size_t bit) const;
 
  private:
   std::size_t n_, k_, t_, c_;
@@ -49,8 +49,8 @@ struct Votes final : sim::Payload {
   BitVec values;
 
   explicit Votes(BitVec v) : values(std::move(v)) {}
-  std::size_t size_bits() const override { return values.size() + 64; }
-  std::string type_name() const override { return "committee::Votes"; }
+  [[nodiscard]] std::size_t size_bits() const override { return values.size() + 64; }
+  [[nodiscard]] std::string type_name() const override { return "committee::Votes"; }
 };
 
 }  // namespace committee
@@ -70,7 +70,7 @@ class CommitteePeer final : public dr::Peer {
   explicit CommitteePeer(Options opts) : opts_(opts) {}
 
   void on_start() override;
-  std::string status() const override;
+  [[nodiscard]] std::string status() const override;
 
  protected:
   void on_message(sim::PeerId from, const sim::Payload& payload) override;
@@ -80,7 +80,7 @@ class CommitteePeer final : public dr::Peer {
   void process_votes(sim::PeerId from, const committee::Votes& votes);
   void decide(std::size_t bit, bool value);
   void maybe_finish();
-  std::size_t accept_threshold() const;
+  [[nodiscard]] std::size_t accept_threshold() const;
 
   Options opts_;
   std::unique_ptr<CommitteeAssignment> assignment_;

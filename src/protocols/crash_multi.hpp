@@ -71,10 +71,10 @@ struct Req1 final : sim::Payload {
   BitVec unknown;  ///< requester's unknown-bit mask at phase start
 
   Req1(std::size_t ph, BitVec u) : phase(ph), unknown(std::move(u)) {}
-  std::size_t size_bits() const override {
+  [[nodiscard]] std::size_t size_bits() const override {
     return 8 + request_header_bits(16);
   }
-  std::string type_name() const override { return "crashm::Req1"; }
+  [[nodiscard]] std::string type_name() const override { return "crashm::Req1"; }
 };
 
 /// Answer to Req1: the requested bit values.
@@ -83,8 +83,8 @@ struct Resp1 final : sim::Payload {
   MaskChunk chunk;
 
   Resp1(std::size_t ph, MaskChunk c) : phase(ph), chunk(std::move(c)) {}
-  std::size_t size_bits() const override { return 8 + chunk.size_bits(); }
-  std::string type_name() const override { return "crashm::Resp1"; }
+  [[nodiscard]] std::size_t size_bits() const override { return 8 + chunk.size_bits(); }
+  [[nodiscard]] std::string type_name() const override { return "crashm::Resp1"; }
 };
 
 /// Stage-2 request: "these peers never answered me — did they answer you?"
@@ -95,10 +95,10 @@ struct Req2 final : sim::Payload {
 
   Req2(std::size_t ph, std::vector<sim::PeerId> m, BitVec u)
       : phase(ph), missing(std::move(m)), unknown(std::move(u)) {}
-  std::size_t size_bits() const override {
+  [[nodiscard]] std::size_t size_bits() const override {
     return 8 + request_header_bits(16) + 16 * missing.size();
   }
-  std::string type_name() const override { return "crashm::Req2"; }
+  [[nodiscard]] std::string type_name() const override { return "crashm::Req2"; }
 };
 
 /// Answer to Req2: per missing peer, either its bits or "me neither".
@@ -109,7 +109,7 @@ struct Resp2 final : sim::Payload {
   Resp2(std::size_t ph,
         std::vector<std::pair<sim::PeerId, std::optional<MaskChunk>>> a)
       : phase(ph), answers(std::move(a)) {}
-  std::size_t size_bits() const override {
+  [[nodiscard]] std::size_t size_bits() const override {
     std::size_t bits = 8;
     for (const auto& [peer, chunk] : answers) {
       bits += 17;  // peer id + me-neither flag
@@ -117,7 +117,7 @@ struct Resp2 final : sim::Payload {
     }
     return bits;
   }
-  std::string type_name() const override { return "crashm::Resp2"; }
+  [[nodiscard]] std::string type_name() const override { return "crashm::Resp2"; }
 };
 
 /// Terminating push of the full output array (Claim 2's rescue).
@@ -125,8 +125,8 @@ struct Full final : sim::Payload {
   BitVec all;
 
   explicit Full(BitVec a) : all(std::move(a)) {}
-  std::size_t size_bits() const override { return 8 + all.size(); }
-  std::string type_name() const override { return "crashm::Full"; }
+  [[nodiscard]] std::size_t size_bits() const override { return 8 + all.size(); }
+  [[nodiscard]] std::string type_name() const override { return "crashm::Full"; }
 };
 
 }  // namespace crashm
@@ -149,10 +149,10 @@ class CrashMultiPeer final : public dr::Peer {
   explicit CrashMultiPeer(Options opts);
 
   void on_start() override;
-  std::string status() const override;
+  [[nodiscard]] std::string status() const override;
 
   /// Phases entered before terminating (diagnostics for benches/tests).
-  std::size_t phases_run() const { return phase_; }
+  [[nodiscard]] std::size_t phases_run() const { return phase_; }
 
  protected:
   void on_message(sim::PeerId from, const sim::Payload& payload) override;
@@ -160,13 +160,13 @@ class CrashMultiPeer final : public dr::Peer {
  private:
   enum class Progress { kIdle, kWait1, kWait2, kDone };
 
-  std::size_t quorum() const;  // (1-beta)k = k - t
-  std::size_t direct_threshold() const;
-  std::size_t max_phases() const;
+  [[nodiscard]] std::size_t quorum() const;  // (1-beta)k = k - t
+  [[nodiscard]] std::size_t direct_threshold() const;
+  [[nodiscard]] std::size_t max_phases() const;
 
   /// Mask of bits in `base` owned by `who` in phase r (word-level AND with
   /// the shared ownership masks).
-  BitVec owned_share(const BitVec& base, std::size_t r, sim::PeerId who) const;
+  [[nodiscard]] BitVec owned_share(const BitVec& base, std::size_t r, sim::PeerId who) const;
 
   void ensure_init();
   void start_phase(std::size_t r);
@@ -177,8 +177,8 @@ class CrashMultiPeer final : public dr::Peer {
 
   void handle_req1(sim::PeerId from, const crashm::Req1& req);
   void handle_req2(sim::PeerId from, const crashm::Req2& req);
-  bool req1_eligible(const crashm::Req1& req) const;
-  bool req2_eligible(const crashm::Req2& req) const;
+  [[nodiscard]] bool req1_eligible(const crashm::Req1& req) const;
+  [[nodiscard]] bool req2_eligible(const crashm::Req2& req) const;
 
   void query_mask(const BitVec& mask);
 

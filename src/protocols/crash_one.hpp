@@ -42,8 +42,8 @@ struct Stage1 final : sim::Payload {
   BitChunk chunk;
 
   Stage1(std::size_t ph, BitChunk c) : phase(ph), chunk(std::move(c)) {}
-  std::size_t size_bits() const override { return 8 + chunk.size_bits(); }
-  std::string type_name() const override { return "crash1::Stage1"; }
+  [[nodiscard]] std::size_t size_bits() const override { return 8 + chunk.size_bits(); }
+  [[nodiscard]] std::string type_name() const override { return "crash1::Stage1"; }
 };
 
 /// Stage-2 request: "I am missing peer `missing`; send me `needed`".
@@ -54,10 +54,10 @@ struct Stage2Req final : sim::Payload {
 
   Stage2Req(std::size_t ph, sim::PeerId m, IntervalSet idx)
       : phase(ph), missing(m), needed(std::move(idx)) {}
-  std::size_t size_bits() const override {
+  [[nodiscard]] std::size_t size_bits() const override {
     return 8 + 64 + 128 * needed.intervals().size();
   }
-  std::string type_name() const override { return "crash1::Stage2Req"; }
+  [[nodiscard]] std::string type_name() const override { return "crash1::Stage2Req"; }
 };
 
 /// Stage-2 response: the requested bits, or "me neither".
@@ -69,10 +69,10 @@ struct Stage2Resp final : sim::Payload {
 
   Stage2Resp(std::size_t ph, sim::PeerId m, bool has, BitChunk c)
       : phase(ph), missing(m), has_bits(has), chunk(std::move(c)) {}
-  std::size_t size_bits() const override {
+  [[nodiscard]] std::size_t size_bits() const override {
     return 8 + 64 + 1 + chunk.size_bits();
   }
-  std::string type_name() const override { return "crash1::Stage2Resp"; }
+  [[nodiscard]] std::string type_name() const override { return "crash1::Stage2Resp"; }
 };
 
 }  // namespace crash1
@@ -95,7 +95,7 @@ class CrashOnePeer final : public dr::Peer {
   };
 
   // The fixed phase-1 assignment: peer q owns block q.
-  SegmentLayout blocks() const { return SegmentLayout(n(), k()); }
+  [[nodiscard]] SegmentLayout blocks() const { return SegmentLayout(n(), k()); }
 
   void ensure_init();
   void start_phase1();
@@ -108,7 +108,7 @@ class CrashOnePeer final : public dr::Peer {
   /// Phase-2 share of `missing`'s block owned by `owner` (canonical rule
   /// shared by every peer: the block split evenly over peers != missing in
   /// increasing ID order).
-  IntervalSet phase2_share(sim::PeerId missing, sim::PeerId owner) const;
+  [[nodiscard]] IntervalSet phase2_share(sim::PeerId missing, sim::PeerId owner) const;
 
   Progress progress_ = Progress::kStart;
   BitVec out_;

@@ -19,12 +19,12 @@ class DecisionTree {
   /// Candidates must be non-empty, pairwise distinct, and of equal length.
   explicit DecisionTree(std::vector<BitVec> candidates);
 
-  std::size_t leaf_count() const { return candidates_.size(); }
+  [[nodiscard]] std::size_t leaf_count() const { return candidates_.size(); }
   /// Number of separating indices on the worst root-to-leaf path.
-  std::size_t depth() const { return depth_; }
+  [[nodiscard]] std::size_t depth() const { return depth_; }
   /// Total internal nodes — the paper's bound on determine()'s query cost
   /// (= leaf_count() - 1).
-  std::size_t internal_nodes() const { return internal_count_; }
+  [[nodiscard]] std::size_t internal_nodes() const { return internal_count_; }
 
   /// Resolves the tree against the true input. `query_bit` receives an
   /// absolute index (node separating index + `index_offset`) and must return
@@ -35,7 +35,7 @@ class DecisionTree {
   /// string; otherwise the result is some candidate agreeing with the truth
   /// on all queried separators (the caller must guard against that case, as
   /// the protocols do via the tau-frequency threshold).
-  const BitVec& determine(
+  [[nodiscard]] const BitVec& determine(
       const std::function<bool(std::size_t)>& query_bit,
       std::size_t index_offset = 0) const;
 

@@ -22,7 +22,7 @@ class StringBank {
  public:
   explicit StringBank(std::size_t segment_count);
 
-  std::size_t segment_count() const { return per_segment_.size(); }
+  [[nodiscard]] std::size_t segment_count() const { return per_segment_.size(); }
 
   /// Records `from`'s report of `value` for segment `seg`. Returns true if
   /// the vote was counted (first report by this peer for this segment).
@@ -30,17 +30,17 @@ class StringBank {
 
   /// Number of distinct peers that reported anything for `seg` — the
   /// paper's R_i, which bounds the decision-tree cost for the segment.
-  std::size_t votes(std::size_t seg) const;
+  [[nodiscard]] std::size_t votes(std::size_t seg) const;
 
   /// Number of distinct strings reported for `seg`.
-  std::size_t distinct(std::size_t seg) const;
+  [[nodiscard]] std::size_t distinct(std::size_t seg) const;
 
   /// Count of peers that reported exactly `value` for `seg`.
-  std::size_t support(std::size_t seg, const BitVec& value) const;
+  [[nodiscard]] std::size_t support(std::size_t seg, const BitVec& value) const;
 
   /// F(S, tau): all strings reported for `seg` by >= tau distinct peers.
   /// Deterministic order (by string content) so runs are reproducible.
-  std::vector<BitVec> frequent(std::size_t seg, std::size_t tau) const;
+  [[nodiscard]] std::vector<BitVec> frequent(std::size_t seg, std::size_t tau) const;
 
  private:
   struct SegmentVotes {

@@ -46,13 +46,13 @@ struct RandAttackStats {
   std::size_t succeeded = 0;          ///< victim wrong at the planted bit
   std::size_t victim_unterminated = 0;
   double mean_victim_queries = 0;     ///< measured q
-  double success_rate() const {
+  [[nodiscard]] double success_rate() const {
     return trials == 0 ? 0.0
                        : static_cast<double>(succeeded) /
                              static_cast<double>(trials);
   }
   /// Theorem 3.2's floor: 1 - q/n with the measured mean q.
-  double predicted_floor(std::size_t n) const;
+  [[nodiscard]] double predicted_floor(std::size_t n) const;
 };
 
 /// Runs `trials` independent random-bit attacks against a (randomized)

@@ -39,9 +39,9 @@ struct RandParams {
 
   /// Threshold for coarser segment counts (multi-cycle): tau_j for a cycle
   /// with `segment_count` segments.
-  std::size_t tau_for(std::size_t segment_count) const;
+  [[nodiscard]] std::size_t tau_for(std::size_t segment_count) const;
 
-  std::string to_string() const;
+  [[nodiscard]] std::string to_string() const;
 };
 
 }  // namespace asyncdr::proto

@@ -20,22 +20,22 @@ class SegmentLayout {
  public:
   SegmentLayout(std::size_t n, std::size_t count);
 
-  std::size_t n() const { return n_; }
-  std::size_t count() const { return bounds_.size() - 1; }
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] std::size_t count() const { return bounds_.size() - 1; }
 
   /// Inclusive-exclusive bit range of segment `id`.
-  Interval bounds(std::size_t id) const;
-  std::size_t length(std::size_t id) const { return bounds(id).length(); }
+  [[nodiscard]] Interval bounds(std::size_t id) const;
+  [[nodiscard]] std::size_t length(std::size_t id) const { return bounds(id).length(); }
 
   /// The segment containing bit index `i`.
-  std::size_t segment_of(std::size_t i) const;
+  [[nodiscard]] std::size_t segment_of(std::size_t i) const;
 
   /// Pairs adjacent segments: new segment j = old segments {2j, 2j+1}
   /// (just {2j} when the count is odd and 2j is last).
-  SegmentLayout coarsen() const;
+  [[nodiscard]] SegmentLayout coarsen() const;
 
   /// The fine-segment IDs composing coarse segment `j` of coarsen().
-  std::vector<std::size_t> children_of(std::size_t coarse_id) const;
+  [[nodiscard]] std::vector<std::size_t> children_of(std::size_t coarse_id) const;
 
   bool operator==(const SegmentLayout&) const = default;
 

@@ -26,7 +26,7 @@ class Engine {
     bool budget_exhausted = false;
   };
 
-  Time now() const { return now_; }
+  [[nodiscard]] Time now() const { return now_; }
 
   /// Schedules `action` to run `delay` time units from now. delay >= 0.
   void schedule_in(Time delay, Action action);
@@ -40,8 +40,8 @@ class Engine {
   /// Runs until the queue drains or `max_events` have been processed.
   RunResult run(std::size_t max_events = kDefaultEventBudget);
 
-  bool idle() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
   static constexpr std::size_t kDefaultEventBudget = 50'000'000;
 

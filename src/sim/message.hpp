@@ -23,10 +23,10 @@ class Payload {
   /// Size of the payload in bits, as the paper accounts it (the data bits;
   /// headers such as phase/stage numbers contribute O(log) bits and are
   /// included by each payload type explicitly).
-  virtual std::size_t size_bits() const = 0;
+  [[nodiscard]] virtual std::size_t size_bits() const = 0;
 
   /// Human-readable payload kind for traces and error messages.
-  virtual std::string type_name() const = 0;
+  [[nodiscard]] virtual std::string type_name() const = 0;
 };
 
 using PayloadPtr = std::shared_ptr<const Payload>;

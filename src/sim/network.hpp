@@ -82,8 +82,8 @@ class Network {
   /// accounted as multiple unit messages.
   Network(Engine& engine, std::size_t k, std::size_t message_size_bits);
 
-  std::size_t size() const { return k_; }
-  std::size_t message_size_bits() const { return message_size_bits_; }
+  [[nodiscard]] std::size_t size() const { return k_; }
+  [[nodiscard]] std::size_t message_size_bits() const { return message_size_bits_; }
   Engine& engine() { return engine_; }
 
   /// Registers the receiver for a peer ID. Must be called for every peer
@@ -100,7 +100,7 @@ class Network {
   /// Default: none. Installing one takes the run outside the paper's model;
   /// see DeliveryStressor.
   void set_delivery_stressor(std::unique_ptr<DeliveryStressor> stressor);
-  bool has_delivery_stressor() const { return stressor_ != nullptr; }
+  [[nodiscard]] bool has_delivery_stressor() const { return stressor_ != nullptr; }
 
   /// Adversary hook invoked before each send is processed; it may call
   /// crash(from) to model a peer dying mid-broadcast.
@@ -119,29 +119,29 @@ class Network {
 
   /// Marks a peer crashed: it sends and receives nothing from now on.
   void crash(PeerId id);
-  bool is_crashed(PeerId id) const;
-  std::size_t crashed_count() const;
+  [[nodiscard]] bool is_crashed(PeerId id) const;
+  [[nodiscard]] std::size_t crashed_count() const;
 
   /// ceil(size_bits / B), at least 1 — unit messages consumed by a payload.
-  std::size_t unit_messages(const Payload& payload) const;
+  [[nodiscard]] std::size_t unit_messages(const Payload& payload) const;
 
   /// Unit messages sent by `id` so far (crashed-at-send messages excluded).
-  std::uint64_t sent_units(PeerId id) const;
+  [[nodiscard]] std::uint64_t sent_units(PeerId id) const;
   /// Raw payload-level sends by `id` (each send() call that went through).
-  std::uint64_t sent_payloads(PeerId id) const;
-  std::uint64_t total_deliveries() const { return total_deliveries_; }
+  [[nodiscard]] std::uint64_t sent_payloads(PeerId id) const;
+  [[nodiscard]] std::uint64_t total_deliveries() const { return total_deliveries_; }
 
   // ---- Stall diagnostics (always on; used by dr::World's stall report) ----
 
   /// Messages scheduled but not yet delivered/dropped on the directed link
   /// from -> to.
-  std::uint32_t in_flight(PeerId from, PeerId to) const;
+  [[nodiscard]] std::uint32_t in_flight(PeerId from, PeerId to) const;
   /// Sum of in_flight over all links.
-  std::uint64_t total_in_flight() const;
+  [[nodiscard]] std::uint64_t total_in_flight() const;
   /// Virtual time of the last accepted send by `id`; negative if none.
-  Time last_send_at(PeerId id) const;
+  [[nodiscard]] Time last_send_at(PeerId id) const;
   /// Virtual time of the last delivery to `id`; negative if none.
-  Time last_delivery_at(PeerId id) const;
+  [[nodiscard]] Time last_delivery_at(PeerId id) const;
 
  private:
   struct LinkState {

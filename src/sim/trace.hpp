@@ -37,7 +37,7 @@ struct TraceEvent {
   std::uint64_t detail_a = 0;  ///< payload bits / queried bits / unit msgs
   std::string note;
 
-  std::string to_string() const;
+  [[nodiscard]] std::string to_string() const;
 };
 
 /// Bounded in-memory event log; recording stops past the cap (the overflow
@@ -58,17 +58,17 @@ class Trace final : public NetworkObserver {
   void record_terminate(Time at, PeerId peer);
   void record_note(Time at, PeerId peer, std::string note);
 
-  std::size_t size() const { return events_.size(); }
-  std::size_t dropped_events() const { return overflow_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] std::size_t dropped_events() const { return overflow_; }
   /// Virtual time of the first event the capacity cap dropped, or a negative
   /// value if nothing overflowed. Stall diagnostics use this to say *when*
   /// trace visibility ended, not just that it did.
-  Time first_dropped_at() const { return first_dropped_at_; }
-  const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] Time first_dropped_at() const { return first_dropped_at_; }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
 
   /// Events satisfying a predicate (copied; traces are diagnostics).
   template <typename Pred>
-  std::vector<TraceEvent> filter(Pred&& pred) const {
+  [[nodiscard]] std::vector<TraceEvent> filter(Pred&& pred) const {
     std::vector<TraceEvent> out;
     for (const TraceEvent& ev : events_) {
       if (pred(ev)) out.push_back(ev);
@@ -77,17 +77,17 @@ class Trace final : public NetworkObserver {
   }
 
   /// Number of events of one kind.
-  std::size_t count(TraceEvent::Kind kind) const;
+  [[nodiscard]] std::size_t count(TraceEvent::Kind kind) const;
 
   /// The most recent recorded event a peer took part in (as sender or
   /// recipient), or nullptr if it never appears. Stall diagnostics use this
   /// to say what a stuck peer last did. Events with no recipient (queries,
   /// crashes, terminations carry `to == kNoPeer`) match on the actor only;
   /// passing kNoPeer matches nothing.
-  const TraceEvent* last_event_involving(PeerId peer) const;
+  [[nodiscard]] const TraceEvent* last_event_involving(PeerId peer) const;
 
   /// Renders the (optionally peer-filtered) timeline, one event per line.
-  std::string render(PeerId only_peer = kNoPeer,
+  [[nodiscard]] std::string render(PeerId only_peer = kNoPeer,
                      std::size_t max_lines = 200) const;
 
  private:

@@ -50,7 +50,7 @@ TEST(Source, IndexRecording) {
 
 TEST(Source, RecordingDisabledThrows) {
   Source src(BitVec(10), 1);
-  EXPECT_THROW(src.queried_indices(0), contract_violation);
+  EXPECT_THROW((void)src.queried_indices(0), contract_violation);
 }
 
 TEST(Source, OverlayRedirectsOnePeerOnly) {

@@ -36,7 +36,7 @@ TEST(SegmentLayout, SegmentOfInvertsBounds) {
     EXPECT_GE(i, layout.bounds(seg).lo);
     EXPECT_LT(i, layout.bounds(seg).hi);
   }
-  EXPECT_THROW(layout.segment_of(100), contract_violation);
+  EXPECT_THROW((void)layout.segment_of(100), contract_violation);
 }
 
 TEST(SegmentLayout, SingleSegment) {

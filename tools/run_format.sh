@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# clang-format driver over every tracked C++ file.
+#
+# Usage:
+#   tools/run_format.sh --check   # dry run; nonzero if anything would change
+#   tools/run_format.sh --fix     # rewrite files in place
+#
+# Exit status: 0 clean/fixed, 1 check found unformatted files, 77 when no
+# clang-format binary is available (skipped; CI exports
+# ASYNCDR_REQUIRE_FORMAT=1 to make that fatal).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MODE="${1:---check}"
+case "$MODE" in
+  --check|--fix) ;;
+  *) echo "usage: $0 [--check|--fix]" >&2; exit 2 ;;
+esac
+
+FMT="${CLANG_FORMAT:-}"
+if [[ -z "$FMT" ]]; then
+  for candidate in clang-format clang-format-20 clang-format-19 \
+                   clang-format-18 clang-format-17 clang-format-16 \
+                   clang-format-15 clang-format-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      FMT="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$FMT" ]]; then
+  echo "run_format: no clang-format binary found (set CLANG_FORMAT=...)" >&2
+  if [[ "${ASYNCDR_REQUIRE_FORMAT:-0}" == "1" ]]; then
+    exit 1
+  fi
+  echo "run_format: skipping (export ASYNCDR_REQUIRE_FORMAT=1 to make this fatal)" >&2
+  exit 77
+fi
+
+mapfile -t FILES < <(git ls-files '*.cpp' '*.hpp' '*.h' '*.cc')
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "run_format: no C++ files tracked" >&2
+  exit 0
+fi
+
+if [[ "$MODE" == "--fix" ]]; then
+  "$FMT" -i "${FILES[@]}"
+  echo "run_format: formatted ${#FILES[@]} file(s)"
+  exit 0
+fi
+
+if ! "$FMT" --dry-run -Werror "${FILES[@]}"; then
+  echo "run_format: formatting drift detected; run tools/run_format.sh --fix" >&2
+  exit 1
+fi
+echo "run_format: ${#FILES[@]} file(s) clean"

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# clang-tidy driver: runs the curated .clang-tidy profile over every
+# translation unit under src/ (plus bench/ and examples/) using the compile
+# database a CMake configure exports.
+#
+# Usage:
+#   tools/run_tidy.sh [-p BUILD_DIR] [--fix] [files...]
+#
+#   -p BUILD_DIR   build tree holding compile_commands.json (default: build,
+#                  then build/dev)
+#   --fix          apply clang-tidy's suggested fixes in place
+#   files...       restrict to specific source files (default: all of
+#                  src/ bench/ examples/ from the compile database)
+#
+# Exit status: 0 clean, 1 findings (WarningsAsErrors promotes every finding),
+# 77 when no clang-tidy binary is available (skipped). CI treats 77 as a
+# hard failure by exporting ASYNCDR_REQUIRE_TIDY=1; local runs without the
+# tool just skip.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=""
+FIX=""
+FILES=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    -p) BUILD_DIR="$2"; shift 2 ;;
+    --fix) FIX="--fix"; shift ;;
+    -h|--help) sed -n '2,18p' "$0"; exit 0 ;;
+    *) FILES+=("$1"); shift ;;
+  esac
+done
+
+TIDY="${CLANG_TIDY:-}"
+if [[ -z "$TIDY" ]]; then
+  for candidate in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+                   clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      TIDY="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$TIDY" ]]; then
+  echo "run_tidy: no clang-tidy binary found (set CLANG_TIDY=...)" >&2
+  if [[ "${ASYNCDR_REQUIRE_TIDY:-0}" == "1" ]]; then
+    exit 1
+  fi
+  echo "run_tidy: skipping (export ASYNCDR_REQUIRE_TIDY=1 to make this fatal)" >&2
+  exit 77
+fi
+
+if [[ -z "$BUILD_DIR" ]]; then
+  for candidate in build build/dev; do
+    if [[ -f "$candidate/compile_commands.json" ]]; then
+      BUILD_DIR="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$BUILD_DIR" || ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "run_tidy: no compile_commands.json; configure first, e.g." >&2
+  echo "  cmake --preset dev" >&2
+  exit 1
+fi
+
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  # Every TU in the compile database that lives under src/, bench/, or
+  # examples/ (tests are not tidy-gated: GTest macros trip too many checks
+  # to be worth the noise).
+  mapfile -t FILES < <(python3 - "$BUILD_DIR/compile_commands.json" <<'EOF'
+import json
+import os
+import sys
+
+root = os.getcwd()
+seen = set()
+for entry in json.load(open(sys.argv[1])):
+    path = os.path.normpath(os.path.join(entry["directory"], entry["file"]))
+    rel = os.path.relpath(path, root)
+    if rel.startswith(("src/", "bench/", "examples/")) and rel not in seen:
+        seen.add(rel)
+        print(rel)
+EOF
+)
+fi
+
+echo "run_tidy: $TIDY over ${#FILES[@]} file(s) (db: $BUILD_DIR)"
+STATUS=0
+FAILED=()
+for f in "${FILES[@]}"; do
+  if ! "$TIDY" -p "$BUILD_DIR" --quiet $FIX "$f"; then
+    STATUS=1
+    FAILED+=("$f")
+  fi
+done
+if [[ $STATUS -ne 0 ]]; then
+  echo "run_tidy: findings in ${#FAILED[@]} file(s):" >&2
+  printf '  %s\n' "${FAILED[@]}" >&2
+fi
+exit $STATUS

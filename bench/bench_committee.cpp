@@ -26,11 +26,13 @@ int main() {
   section("Q vs beta, n=16384, k=32, flip-all liars at max t");
   {
     Table table({"beta", "t", "committee", "Q measured", "Q bound", "T", "M",
-                 "fails"});
+                 "T breakdown", "fails"});
     for (double beta : {0.0, 0.1, 0.2, 0.3, 0.4, 0.45}) {
       dr::Config c{.n = 1 << 14, .k = 32, .beta = beta, .message_bits = 4096,
                    .seed = 1};
-      const auto stats = repeat_runs(kRepeats, [&](std::size_t rep) {
+      // Traced runs: the critical-path probe splits T into link latency vs
+      // local sequencing per row (and lands in the bench JSON).
+      const auto stats = repeat_runs_critpath(kRepeats, [&](std::size_t rep) {
         Scenario s;
         s.cfg = c;
         s.cfg.seed = 500 + rep;
@@ -43,12 +45,14 @@ int main() {
       });
       table.add(beta, c.max_faulty(), 2 * c.max_faulty() + 1,
                 mean_cell(stats.q), bounds::committee_q(c), mean_cell(stats.t),
-                mean_cell(stats.m), stats.failures);
+                mean_cell(stats.m), critpath_cell(stats), stats.failures);
       bj.record("q-vs-beta", "beta=" + Table::to_cell(beta), stats);
     }
     table.print();
     std::printf("shape: Q ~ (2 beta + 1/k) n — linear in beta, the paper's\n"
-                "deterministic price for Byzantine tolerance below 1/2.\n");
+                "deterministic price for Byzantine tolerance below 1/2.\n"
+                "T breakdown: the critical path's link-latency share vs\n"
+                "same-instant local sequencing (path length == T exactly).\n");
   }
 
   section("attack family sweep, n=16384, k=25, beta=0.4 (t=10, c=21)");

@@ -35,6 +35,11 @@ struct RepeatStats {
   Summary q, t, m;
   std::size_t failures = 0;
   std::size_t runs = 0;
+  /// Critical-path composition, filled by repeat_runs_critpath only: the
+  /// path length (== T on reconciled runs), its link-latency share, and the
+  /// residual local-sequencing share, per successful run.
+  Summary cp_len, cp_link, cp_local;
+  std::size_t cp_reconciled = 0;
 };
 
 template <typename ScenarioBuilder>
@@ -55,8 +60,55 @@ RepeatStats repeat_runs(std::size_t repeats, ScenarioBuilder&& build) {
   return stats;
 }
 
+/// repeat_runs with tracing enabled: each run's critical path (embedded by
+/// run_scenario on traced runs) is folded into the cp_* summaries, so the
+/// bench can report not just T but what T was spent on.
+template <typename ScenarioBuilder>
+RepeatStats repeat_runs_critpath(std::size_t repeats, ScenarioBuilder&& build) {
+  RepeatStats stats;
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    proto::Scenario s = build(rep);
+    auto inner = std::move(s.instrument);
+    s.instrument = [inner = std::move(inner)](dr::World& world) {
+      world.enable_trace();
+      if (inner) inner(world);
+    };
+    const dr::RunReport report = proto::run_scenario(s);
+    ++stats.runs;
+    if (!report.ok()) {
+      ++stats.failures;
+      continue;
+    }
+    stats.q.add(static_cast<double>(report.query_complexity));
+    stats.t.add(report.time_complexity);
+    stats.m.add(static_cast<double>(report.message_complexity));
+    if (report.critical_path.has_value() && report.critical_path->reconciled) {
+      const obs::CriticalPathReport& cp = *report.critical_path;
+      ++stats.cp_reconciled;
+      double link = 0;
+      for (const obs::CriticalPathReport::Attribution& a : cp.by_edge_kind) {
+        if (a.key == std::string("link")) link = a.time;
+      }
+      stats.cp_len.add(cp.path_length);
+      stats.cp_link.add(link);
+      stats.cp_local.add(cp.path_length - cp.start_offset - link);
+    }
+  }
+  return stats;
+}
+
 inline std::string mean_cell(const Summary& s) {
   return s.empty() ? "-" : Table::to_cell(s.mean());
+}
+
+/// One-line rendering of the cp_* summaries for the printed tables.
+inline std::string critpath_cell(const RepeatStats& stats) {
+  if (stats.cp_len.empty() || stats.cp_len.mean() <= 0) return "-";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.0f%% link / %.0f%% local",
+                100.0 * stats.cp_link.mean() / stats.cp_len.mean(),
+                100.0 * stats.cp_local.mean() / stats.cp_len.mean());
+  return buf;
 }
 
 /// Machine-readable twin of the printed tables: every bench records its
@@ -92,6 +144,16 @@ class BenchJson {
     }
     if (!stats.t.empty()) e["t_mean"] = stats.t.mean();
     if (!stats.m.empty()) e["m_mean"] = stats.m.mean();
+    // Optional critical-path fields (repeat_runs_critpath callers only).
+    // compare_bench.py diffs q/t/m means and ignores extra fields, so these
+    // ride along without perturbing baseline comparisons.
+    if (!stats.cp_len.empty()) {
+      e["critpath_len_mean"] = stats.cp_len.mean();
+      e["critpath_link_mean"] = stats.cp_link.mean();
+      e["critpath_local_mean"] = stats.cp_local.mean();
+      e["critpath_reconciled"] =
+          static_cast<std::uint64_t>(stats.cp_reconciled);
+    }
     doc_["entries"].push_back(std::move(e));
   }
 

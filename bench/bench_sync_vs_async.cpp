@@ -37,7 +37,9 @@ std::vector<ProtocolRow> rows() {
 
 RepeatStats run_schedule(const ProtocolRow& row, int schedule) {
   return [&] {
-    RepeatStats stats = repeat_runs(kRepeats, [&](std::size_t rep) {
+    // Traced: the critical-path probe attributes each schedule's T to link
+    // latency vs local sequencing, showing *where* the schedule moves time.
+    RepeatStats stats = repeat_runs_critpath(kRepeats, [&](std::size_t rep) {
       Scenario s;
       s.cfg = dr::Config{.n = row.n, .k = row.k, .beta = row.beta,
                          .message_bits = 4096, .seed = 900 + rep};
@@ -71,14 +73,14 @@ int main() {
   BenchJson bj("sync_vs_async");
   for (const ProtocolRow& row : rows()) {
     section(row.name);
-    Table table({"schedule", "Q", "T", "M", "fails"});
+    Table table({"schedule", "Q", "T", "M", "T breakdown", "fails"});
     const char* names[3] = {"lockstep (sync rounds)", "jittered async",
                             "seniority inversion"};
     double q_min = 1e18, q_max = 0;
     for (int schedule = 0; schedule < 3; ++schedule) {
       const auto result = run_schedule(row, schedule);
       table.add(names[schedule], mean_cell(result.q), mean_cell(result.t),
-                mean_cell(result.m), result.failures);
+                mean_cell(result.m), critpath_cell(result), result.failures);
       bj.record(row.name, names[schedule], result);
       if (!result.q.empty()) {
         q_min = std::min(q_min, result.q.mean());

@@ -25,6 +25,21 @@
 //   --include-messages 1        add per-message instants to the timeline
 //   --out FILE                  default: stdout
 //   plus all single-run flags above (protocol, adversary, n, k, ...)
+//   Perfetto exports include the critical path as flow events arcing
+//   across the peer tracks.
+//
+// Critical-path analysis (see DESIGN.md, "Causal analysis"):
+//
+//   asyncdr_cli critpath --protocol committee --adversary byz_silent
+//
+//   runs once with tracing enabled and prints the happens-before chain
+//   realizing the run's T, attributed per phase / peer / edge kind, with
+//   the reconciliation verdict (path length == T exactly).
+//   --format text | json        text tree (default) or JSON
+//   --max-steps N               path steps rendered in text mode (def. 40)
+//   --out FILE                  default: stdout
+//   Exit status: 0 iff the run satisfied the Download predicate AND the
+//   path reconciled against the reported T.
 //
 // Metrics snapshot:
 //
@@ -50,7 +65,9 @@
 //   --no-shrink 1       report failures without shrinking them
 //   --verbose 1         list every case, not just failures
 //   --artifact-dir DIR  write each shrunk failure's metrics snapshot to
-//                       DIR/chaos_metrics_<i>.json (CI uploads these)
+//                       DIR/chaos_metrics_<i>.json plus its critical-path
+//                       analysis to DIR/chaos_critpath_<i>.{txt,json}
+//                       (CI uploads these)
 //
 // Exit status: 0 if the sweep had no violations, 1 otherwise.
 #include <cstdio>
@@ -235,6 +252,11 @@ int run_trace_export(int argc, char** argv) {
     if (format == "perfetto") {
       obs::PerfettoOptions opts;
       opts.include_messages = args.get_size("include-messages", 0) != 0;
+      // Traced runs carry the critical path (run_scenario embeds it);
+      // export its link edges as flow events over the peer tracks.
+      if (report.critical_path.has_value()) {
+        opts.critical_path = &*report.critical_path;
+      }
       rendered = obs::to_perfetto(*world.trace(), report.phase_spans,
                                   world.config().k, opts)
                      .dump(1);
@@ -246,6 +268,36 @@ int run_trace_export(int argc, char** argv) {
   proto::run_scenario(spec.scenario);
   write_output(args, rendered);
   return 0;
+}
+
+int run_critpath(int argc, char** argv) {
+  const Args args = parse(argc, argv, 2);
+  SpecResult spec = build_scenario(args, 0);
+  const std::string format = args.get("format", "text");
+  if (format != "text" && format != "json") {
+    usage(("unknown --format: " + format).c_str());
+  }
+
+  spec.scenario.instrument = [](dr::World& world) { world.enable_trace(); };
+  const dr::RunReport report = proto::run_scenario(spec.scenario);
+  if (!report.critical_path.has_value()) {
+    std::fprintf(stderr, "error: the run produced no critical path\n");
+    return 1;
+  }
+  const obs::CriticalPathReport& path = *report.critical_path;
+
+  std::string rendered;
+  if (format == "json") {
+    rendered = obs::critical_path_json(path).dump(1);
+    rendered.push_back('\n');
+  } else {
+    rendered = report.to_string();
+    rendered.push_back('\n');
+    rendered += path.to_string(args.get_size("max-steps", 40));
+    if (!report.stall.empty()) rendered += report.stall;
+  }
+  write_output(args, rendered);
+  return report.ok() && path.reconciled ? 0 : 1;
 }
 
 int run_metrics(int argc, char** argv) {
@@ -311,17 +363,32 @@ int run_chaos(int argc, char** argv) {
       std::fprintf(stderr, "warning: cannot create %s: %s\n",
                    artifact_dir.c_str(), ec.message().c_str());
     }
-    for (std::size_t i = 0; i < report.repros.size(); ++i) {
-      if (report.repros[i].metrics_json.empty()) continue;
-      const std::string path =
-          artifact_dir + "/chaos_metrics_" + std::to_string(i) + ".json";
+    const auto write_artifact = [](const std::string& path,
+                                   const std::string& content,
+                                   const char* what) {
       std::ofstream f(path, std::ios::binary);
       if (!f) {
         std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
-        continue;
+        return;
       }
-      f << report.repros[i].metrics_json << '\n';
-      std::fprintf(stderr, "wrote failure metrics: %s\n", path.c_str());
+      f << content;
+      std::fprintf(stderr, "wrote %s: %s\n", what, path.c_str());
+    };
+    for (std::size_t i = 0; i < report.repros.size(); ++i) {
+      const chaos::ShrunkRepro& repro = report.repros[i];
+      const std::string stem = artifact_dir + "/chaos_";
+      if (!repro.metrics_json.empty()) {
+        write_artifact(stem + "metrics_" + std::to_string(i) + ".json",
+                       repro.metrics_json + "\n", "failure metrics");
+      }
+      if (!repro.critpath_text.empty()) {
+        write_artifact(stem + "critpath_" + std::to_string(i) + ".txt",
+                       repro.critpath_text, "failure critical path");
+      }
+      if (!repro.critpath_json.empty()) {
+        write_artifact(stem + "critpath_" + std::to_string(i) + ".json",
+                       repro.critpath_json, "failure critical path");
+      }
     }
   }
   return report.failures.empty() ? 0 : 1;
@@ -335,6 +402,9 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "trace") == 0) {
     return run_trace_export(argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "critpath") == 0) {
+    return run_critpath(argc, argv);
   }
   if (argc > 1 && std::strcmp(argv[1], "metrics") == 0) {
     return run_metrics(argc, argv);

@@ -9,6 +9,7 @@
 #include "common/check.hpp"
 #include "common/threads.hpp"
 #include "obs/collect.hpp"
+#include "obs/export.hpp"
 #include "obs/metrics.hpp"
 
 namespace asyncdr::chaos {
@@ -198,19 +199,30 @@ ShrunkRepro ChaosRunner::shrink_failure(const ProtocolProfile& profile,
   out.cfg = sample_case(profile, seed, options).cfg;
   out.command_line = repro_command(profile.name, seed, options);
 
-  // One more run of the shrunk case with a collector attached, so the repro
-  // ships with a machine-readable metrics snapshot of the failure.
+  // One more run of the shrunk case with a collector and tracing attached,
+  // so the repro ships with a machine-readable metrics snapshot AND the
+  // causal analysis of the failure (critical path, or the critical prefix
+  // when the case stalls). Observers are passive: the instrumented rerun is
+  // the same execution the shrinker just classified.
   {
     ChaosCase cs = sample_case(profile, seed, options);
     cs.scenario.max_events = max_events;
     obs::MetricsRegistry registry;
     obs::RunMetricsCollector collector(registry);
-    cs.scenario.instrument = [&](dr::World& world) { collector.attach(world); };
+    cs.scenario.instrument = [&](dr::World& world) {
+      collector.attach(world);
+      world.enable_trace();
+    };
     cs.scenario.post_run = [&](dr::World&, const dr::RunReport& report) {
       collector.finalize(report);
     };
-    proto::run_scenario(cs.scenario);
+    const dr::RunReport rerun = proto::run_scenario(cs.scenario);
     out.metrics_json = registry.to_json_string();
+    if (rerun.critical_path.has_value()) {
+      out.critpath_text = rerun.critical_path->to_string();
+      out.critpath_json = obs::critical_path_json(*rerun.critical_path).dump(1);
+      out.critpath_json.push_back('\n');
+    }
   }
   return out;
 }

@@ -48,6 +48,12 @@ struct ShrunkRepro {
   /// shrunk case with a collector attached — the machine-readable side of
   /// the failure report (CI uploads these as artifacts).
   std::string metrics_json;
+  /// Critical-path analysis of the same traced rerun: the rendered text
+  /// tree and its JSON form. On stalls this is the critical prefix of the
+  /// stuck run — the "what chain got it here" artifact. Empty only if the
+  /// rerun recorded no trace.
+  std::string critpath_text;
+  std::string critpath_json;
 };
 
 struct SweepOptions {

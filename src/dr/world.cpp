@@ -221,7 +221,12 @@ RunReport World::run(std::size_t max_events) {
     engine_.schedule_at(start_times_[id], [this, p, id] {
       // A late starter may already be crashed — or even terminated, if a
       // terminating push reached it before its own start time.
-      if (!net_.is_crashed(id) && !p->terminated()) p->on_start();
+      if (!net_.is_crashed(id) && !p->terminated()) {
+        // The start is a causal root: everything the peer does before its
+        // first delivery chains back to this event.
+        if (trace_) trace_->record_start(engine_.now(), id);
+        p->on_start();
+      }
     });
   }
 

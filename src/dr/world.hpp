@@ -7,6 +7,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "dr/peer.hpp"
 #include "dr/phase.hpp"
 #include "dr/source.hpp"
+#include "obs/critpath.hpp"
 #include "sim/engine.hpp"
 #include "sim/network.hpp"
 #include "sim/trace.hpp"
@@ -103,6 +105,14 @@ struct RunReport {
   /// Rendered StallReport, filled iff the run stalled (budget exhausted or
   /// unterminated nonfaulty peers); empty on clean runs.
   std::string stall;
+
+  /// Critical-path analysis of the run, filled by obs::embed_critical_path
+  /// on traced runs (run_scenario does this automatically): the
+  /// happens-before chain realizing T, attributed per phase / peer / edge
+  /// kind, with the reconciliation verdict path_length == T. Absent when
+  /// tracing was off. Pure data (see obs/critpath.hpp) — reading it needs
+  /// nothing beyond this header.
+  std::optional<obs::CriticalPathReport> critical_path;
 
   [[nodiscard]] std::string to_string() const;
 };

@@ -1,0 +1,324 @@
+#include "obs/causal.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace asyncdr::obs {
+
+namespace {
+
+using Kind = sim::TraceEvent::Kind;
+
+/// The peer whose program order an event belongs to: the recipient for
+/// deliveries and drops, the actor (`from`) for everything else.
+sim::PeerId acting_peer(const sim::TraceEvent& ev) {
+  return (ev.kind == Kind::kDeliver || ev.kind == Kind::kDrop) ? ev.to
+                                                               : ev.from;
+}
+
+}  // namespace
+
+CausalGraph build_causal_graph(const sim::Trace& trace) {
+  const std::vector<sim::TraceEvent>& events = trace.events();
+  CausalGraph graph;
+  graph.nodes.resize(events.size());
+
+  // Index of the send event per in-flight message id, and of the latest
+  // action per peer. The log is time-ordered, so both always point backwards.
+  std::unordered_map<std::uint64_t, std::size_t> send_of_msg;
+  std::unordered_map<sim::PeerId, std::size_t> last_of_peer;
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const sim::TraceEvent& ev = events[i];
+    CausalGraph::Node& node = graph.nodes[i];
+    const sim::PeerId actor = acting_peer(ev);
+
+    const auto link_to_program_order = [&] {
+      const auto it =
+          actor == sim::kNoPeer ? last_of_peer.end() : last_of_peer.find(actor);
+      if (it == last_of_peer.end()) {
+        // Nothing earlier on this peer: a defensive root (normally kStart
+        // precedes all of a peer's actions).
+        node.parent = -1;
+        node.edge = CausalEdge::kRoot;
+        return;
+      }
+      node.parent = static_cast<std::ptrdiff_t>(it->second);
+      const sim::TraceEvent& parent = events[it->second];
+      if (parent.kind == Kind::kQuery) {
+        node.edge = CausalEdge::kQuery;
+      } else if (parent.at == ev.at) {
+        node.edge = CausalEdge::kLocal;
+      } else {
+        node.edge = CausalEdge::kSequence;
+      }
+    };
+
+    switch (ev.kind) {
+      case Kind::kStart:
+      case Kind::kCrash:
+        node.parent = -1;
+        node.edge = CausalEdge::kRoot;
+        break;
+      case Kind::kDeliver:
+      case Kind::kDrop: {
+        const auto it = ev.msg_id == sim::kNoMessageId
+                            ? send_of_msg.end()
+                            : send_of_msg.find(ev.msg_id);
+        if (it != send_of_msg.end()) {
+          node.parent = static_cast<std::ptrdiff_t>(it->second);
+          node.edge = CausalEdge::kLink;
+        } else {
+          link_to_program_order();  // send fell off a truncated trace
+        }
+        break;
+      }
+      case Kind::kSend:
+      case Kind::kQuery:
+      case Kind::kTerminate:
+      case Kind::kNote:
+        link_to_program_order();
+        break;
+    }
+
+    if (ev.kind == Kind::kSend && ev.msg_id != sim::kNoMessageId) {
+      send_of_msg[ev.msg_id] = i;
+    }
+    if (actor != sim::kNoPeer) last_of_peer[actor] = i;
+  }
+  return graph;
+}
+
+namespace {
+
+/// Walks parent pointers from `from` back to a root; returns the chain in
+/// root-to-`from` order. Parents always have smaller indices, so this
+/// terminates and never cycles.
+std::vector<std::size_t> chain_to_root(const CausalGraph& graph,
+                                       std::size_t from) {
+  std::vector<std::size_t> chain;
+  std::ptrdiff_t cur = static_cast<std::ptrdiff_t>(from);
+  while (cur >= 0) {
+    chain.push_back(static_cast<std::size_t>(cur));
+    const std::ptrdiff_t parent = graph.nodes[static_cast<std::size_t>(cur)].parent;
+    ASYNCDR_EXPECTS_MSG(parent < cur, "causal parent must precede its child");
+    cur = parent;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+/// Name of the phase span of `peer` covering time `at` (the latest span
+/// beginning at or before `at`); kUnphased when the peer has none.
+std::string phase_at(
+    const std::unordered_map<sim::PeerId, std::vector<const dr::PhaseSpan*>>&
+        spans_of,
+    sim::PeerId peer, sim::Time at) {
+  const auto it = spans_of.find(peer);
+  if (it == spans_of.end()) return dr::kUnphased;
+  const dr::PhaseSpan* covering = nullptr;
+  for (const dr::PhaseSpan* span : it->second) {
+    if (span->begin <= at) covering = span;  // spans are in open order
+  }
+  return covering == nullptr ? dr::kUnphased : covering->name;
+}
+
+void accumulate(std::vector<CriticalPathReport::Attribution>& rows,
+                const std::string& key, sim::Time weight) {
+  for (CriticalPathReport::Attribution& row : rows) {
+    if (row.key == key) {
+      row.time += weight;
+      ++row.edges;
+      return;
+    }
+  }
+  rows.push_back({key, weight, 1});
+}
+
+bool nonfaulty(const std::vector<bool>& faulty, sim::PeerId peer) {
+  return peer != sim::kNoPeer && peer < faulty.size() && !faulty[peer];
+}
+
+}  // namespace
+
+CriticalPathReport extract_critical_path(
+    const sim::Trace& trace, const CausalGraph& graph,
+    const std::vector<dr::PhaseSpan>& phase_spans,
+    const std::vector<bool>& faulty, sim::Time reported_t) {
+  const std::vector<sim::TraceEvent>& events = trace.events();
+  ASYNCDR_EXPECTS_MSG(graph.nodes.size() == events.size(),
+                      "graph was built over a different trace");
+
+  CriticalPathReport report;
+  report.reported_t = reported_t;
+
+  // Anchor: the latest nonfaulty termination (first log index on a tie —
+  // the peer whose finish defines T).
+  std::ptrdiff_t terminal = -1;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const sim::TraceEvent& ev = events[i];
+    if (ev.kind != Kind::kTerminate || !nonfaulty(faulty, ev.from)) continue;
+    if (terminal < 0 || ev.at > events[static_cast<std::size_t>(terminal)].at) {
+      terminal = static_cast<std::ptrdiff_t>(i);
+    }
+    report.slack.push_back({ev.from, ev.at, reported_t - ev.at});
+  }
+  std::sort(report.slack.begin(), report.slack.end(),
+            [](const CriticalPathReport::PeerSlack& a,
+               const CriticalPathReport::PeerSlack& b) {
+              return a.slack != b.slack ? a.slack < b.slack : a.peer < b.peer;
+            });
+
+  if (trace.dropped_events() > 0) {
+    std::ostringstream os;
+    os.precision(3);
+    os << std::fixed << "trace overflowed at t=" << trace.first_dropped_at()
+       << "; the log covers only a prefix of the run";
+    report.incomplete_reason = os.str();
+  } else if (terminal >= 0) {
+    report.complete = true;
+  }
+  if (terminal < 0) {
+    // Stalled (or truncated-before-any-finish) run: anchor at the latest
+    // recorded nonfaulty action so the path is the critical prefix.
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (nonfaulty(faulty, acting_peer(events[i]))) {
+        terminal = static_cast<std::ptrdiff_t>(i);
+      }
+    }
+    if (report.incomplete_reason.empty()) {
+      report.incomplete_reason =
+          "no nonfaulty peer terminated (run stalled); the path is the "
+          "critical prefix of the stuck run";
+    }
+  }
+  if (terminal < 0) {
+    report.incomplete_reason = "trace recorded no nonfaulty activity";
+    return report;
+  }
+
+  std::unordered_map<sim::PeerId, std::vector<const dr::PhaseSpan*>> spans_of;
+  for (const dr::PhaseSpan& span : phase_spans) {
+    spans_of[span.peer].push_back(&span);
+  }
+
+  const std::vector<std::size_t> chain =
+      chain_to_root(graph, static_cast<std::size_t>(terminal));
+
+  // Phase per chain event, by program order: a "phase: X" note switches the
+  // acting peer's phase for everything after (and including) it, which is
+  // exact even when several phases begin at the same instant. Events before
+  // a peer's first note fall back to the span lookup. The chain is index-
+  // ascending, so one pass over the log labels every step.
+  std::vector<std::string> chain_phase(chain.size());
+  {
+    constexpr const char* kPhasePrefix = "phase: ";
+    constexpr std::size_t kPhasePrefixLen = 7;
+    std::unordered_map<sim::PeerId, std::string> current;
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < events.size() && next < chain.size(); ++i) {
+      const sim::TraceEvent& ev = events[i];
+      if (ev.kind == Kind::kNote && ev.from != sim::kNoPeer &&
+          ev.note.rfind(kPhasePrefix, 0) == 0) {
+        current[ev.from] = ev.note.substr(kPhasePrefixLen);
+      }
+      if (i != chain[next]) continue;
+      const sim::PeerId actor = acting_peer(ev);
+      const auto it =
+          actor == sim::kNoPeer ? current.end() : current.find(actor);
+      chain_phase[next] = it != current.end()
+                              ? it->second
+                              : phase_at(spans_of, actor, ev.at);
+      ++next;
+    }
+  }
+
+  report.terminal_peer = acting_peer(events[chain.back()]);
+  report.start_offset = events[chain.front()].at;
+  report.path_length = report.start_offset;
+  report.steps.reserve(chain.size());
+  for (std::size_t j = 0; j < chain.size(); ++j) {
+    const sim::TraceEvent& ev = events[chain[j]];
+    CriticalPathReport::Step step;
+    step.event_index = chain[j];
+    step.peer = acting_peer(ev);
+    step.at = ev.at;
+    step.label = ev.to_string();
+    step.phase = chain_phase[j];
+    if (j > 0) {
+      const sim::TraceEvent& parent = events[chain[j - 1]];
+      step.in_edge = graph.nodes[chain[j]].edge;
+      step.in_weight = ev.at - parent.at;
+      ASYNCDR_EXPECTS_MSG(step.in_weight >= 0,
+                          "causal edge weights must be non-negative");
+      report.path_length += step.in_weight;
+      accumulate(report.by_phase, step.phase, step.in_weight);
+      accumulate(report.by_peer, "p" + std::to_string(step.peer),
+                 step.in_weight);
+      accumulate(report.by_edge_kind, causal_edge_name(step.in_edge),
+                 step.in_weight);
+    }
+    report.steps.push_back(std::move(step));
+  }
+
+  // The reconciliation invariant: weights telescope, so a correctly wired
+  // DAG makes the path length land on the measured T *exactly* (both sides
+  // copy the same termination timestamp; this is an equality check on
+  // doubles by design, like the phase-accounting reconciliation).
+  report.reconciled = report.complete && report.path_length == reported_t;
+  return report;
+}
+
+std::string render_critical_prefix(const sim::Trace& trace,
+                                   const CausalGraph& graph, sim::PeerId peer,
+                                   std::size_t max_steps) {
+  const sim::TraceEvent* last = trace.last_event_involving(peer);
+  if (last == nullptr || trace.events().empty()) return {};
+  const std::size_t anchor =
+      static_cast<std::size_t>(last - trace.events().data());
+  const std::vector<std::size_t> chain = chain_to_root(graph, anchor);
+
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed << "  critical prefix of p" << peer << " (last "
+     << std::min(max_steps, chain.size()) << " of " << chain.size()
+     << " causal steps):\n";
+  const std::size_t first =
+      chain.size() > max_steps ? chain.size() - max_steps : 0;
+  for (std::size_t j = first; j < chain.size(); ++j) {
+    const sim::TraceEvent& ev = trace.events()[chain[j]];
+    os << "    ";
+    if (j == 0) {
+      os << "root";
+    } else {
+      os << '+' << (ev.at - trace.events()[chain[j - 1]].at) << ' '
+         << causal_edge_name(graph.nodes[chain[j]].edge);
+    }
+    os << ' ' << ev.to_string() << '\n';
+  }
+  return os.str();
+}
+
+void embed_critical_path(dr::World& world, dr::RunReport& report) {
+  sim::Trace* trace = world.trace();
+  if (trace == nullptr) return;
+  const CausalGraph graph = build_causal_graph(*trace);
+  const std::size_t k = world.config().k;
+  std::vector<bool> faulty(k, false);
+  for (sim::PeerId id = 0; id < k; ++id) faulty[id] = world.is_faulty(id);
+  report.critical_path = extract_critical_path(
+      *trace, graph, report.phase_spans, faulty, report.time_complexity);
+  if (!report.stall.empty()) {
+    constexpr std::size_t kMaxStuckPrefixes = 4;
+    for (std::size_t i = 0;
+         i < report.unterminated_peers.size() && i < kMaxStuckPrefixes; ++i) {
+      report.stall +=
+          render_critical_prefix(*trace, graph, report.unterminated_peers[i]);
+    }
+  }
+}
+
+}  // namespace asyncdr::obs

@@ -1,0 +1,64 @@
+// Happens-before reconstruction over a sim::Trace: every recorded event
+// gets a causal parent (the send behind a delivery, the previous action of
+// the acting peer, or nothing for roots), giving a DAG whose edge weights
+// telescope — any root-to-terminal chain sums to the terminal's timestamp.
+// The critical path extractor walks that DAG backwards from the last
+// nonfaulty termination, which by construction *is* the chain realizing the
+// run's T, and attributes its length per phase / peer / edge kind.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dr/phase.hpp"
+#include "dr/world.hpp"
+#include "obs/critpath.hpp"
+#include "sim/trace.hpp"
+
+namespace asyncdr::obs {
+
+/// The happens-before DAG, one node per trace event (parallel arrays).
+struct CausalGraph {
+  struct Node {
+    /// Index of the causal parent in the trace's event log, or -1 for roots
+    /// (peer starts, injected crashes). Always < the node's own index: the
+    /// log is time-ordered, so the graph is acyclic by construction.
+    std::ptrdiff_t parent = -1;
+    CausalEdge edge = CausalEdge::kRoot;
+  };
+  std::vector<Node> nodes;
+};
+
+/// Builds the DAG. Rules (see DESIGN.md, "Causal analysis"): deliver/drop
+/// events point at their send via the message id (kLink); every other event
+/// points at the acting peer's previous action — kQuery if that action was
+/// a source query, kLocal at the same instant, kSequence across idle time;
+/// kStart and kCrash events are roots.
+[[nodiscard]] CausalGraph build_causal_graph(const sim::Trace& trace);
+
+/// Extracts the critical path: the parent chain of the latest nonfaulty
+/// kTerminate event (ties broken toward the earliest log index). `faulty`
+/// is indexed by peer id; `reported_t` is the run's measured T. On stalled
+/// or overflowed traces the report is marked incomplete and covers the
+/// critical prefix of the latest recorded nonfaulty action instead.
+[[nodiscard]] CriticalPathReport extract_critical_path(
+    const sim::Trace& trace, const CausalGraph& graph,
+    const std::vector<dr::PhaseSpan>& phase_spans,
+    const std::vector<bool>& faulty, sim::Time reported_t);
+
+/// Renders the last `max_steps` causal steps leading to `peer`'s most
+/// recent recorded event — the "what chain got it here" view of a stuck
+/// peer for stall diagnostics.
+[[nodiscard]] std::string render_critical_prefix(const sim::Trace& trace,
+                                                 const CausalGraph& graph,
+                                                 sim::PeerId peer,
+                                                 std::size_t max_steps = 8);
+
+/// Convenience wiring for run harnesses: when `world` ran with tracing
+/// enabled, builds the DAG, fills `report.critical_path`, and appends the
+/// critical prefix of every stuck peer to `report.stall`. No-op without a
+/// trace.
+void embed_critical_path(dr::World& world, dr::RunReport& report);
+
+}  // namespace asyncdr::obs

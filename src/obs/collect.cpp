@@ -33,7 +33,6 @@ void RunMetricsCollector::attach(dr::World& world) {
   peer_queries_.resize(k);
   peer_unit_messages_.resize(k);
   peer_payload_messages_.resize(k);
-  link_latency_.resize(k * k);
   for (std::size_t p = 0; p < k; ++p) {
     const Labels peer{{"peer", std::to_string(p)}};
     peer_query_bits_[p] =
@@ -44,8 +43,9 @@ void RunMetricsCollector::attach(dr::World& world) {
     peer_payload_messages_[p] =
         &registry_.counter("net_payload_messages_total", peer);
   }
-  // Per-link latency series are created lazily (k^2 of them; most links may
-  // never carry a message).
+  // Per-link latency series (and their map slots) are created lazily on
+  // first delivery: k^2 of them exist in principle, most never carry a
+  // message, and attach() must not pay for the quiet ones.
 
   world.add_observer(this);
   world.add_query_listener([this](sim::PeerId peer, std::size_t bits) {
@@ -69,7 +69,8 @@ void RunMetricsCollector::on_send(const sim::Message& msg,
 
 void RunMetricsCollector::on_deliver(const sim::Message& msg) {
   const std::size_t k = world_->config().k;
-  Histogram*& h = link_latency_[msg.from * k + msg.to];
+  Histogram*& h =
+      link_latency_[static_cast<std::uint64_t>(msg.from) * k + msg.to];
   if (h == nullptr) {
     h = &registry_.histogram("net_link_latency", latency_bounds(),
                              {{"from", std::to_string(msg.from)},

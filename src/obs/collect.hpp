@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "dr/world.hpp"
@@ -47,7 +49,10 @@ class RunMetricsCollector final : public sim::NetworkObserver {
   std::vector<Counter*> peer_queries_;
   std::vector<Counter*> peer_unit_messages_;
   std::vector<Counter*> peer_payload_messages_;
-  std::vector<Histogram*> link_latency_;  // k*k, indexed from * k + to
+  /// Per-link latency histograms keyed from * k + to, populated on a link's
+  /// first delivery. A map, not a k*k vector: most of the k^2 links never
+  /// carry a message, and attach() must stay cheap at large k.
+  std::unordered_map<std::uint64_t, Histogram*> link_latency_;
   Counter* dropped_ = nullptr;
 };
 

@@ -1,0 +1,94 @@
+#include "obs/critpath.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace asyncdr::obs {
+
+const char* causal_edge_name(CausalEdge edge) {
+  switch (edge) {
+    case CausalEdge::kRoot: return "root";
+    case CausalEdge::kLink: return "link";
+    case CausalEdge::kQuery: return "query";
+    case CausalEdge::kLocal: return "local";
+    case CausalEdge::kSequence: return "sequence";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string attribution_table(const char* header,
+                              const std::vector<CriticalPathReport::Attribution>&
+                                  rows,
+                              sim::Time total) {
+  Table table({header, "time", "edges", "share"});
+  for (const CriticalPathReport::Attribution& a : rows) {
+    std::ostringstream share;
+    share << std::fixed << std::setprecision(1)
+          << (total > 0 ? 100.0 * a.time / total : 0.0) << '%';
+    table.add(a.key, a.time, a.edges, share.str());
+  }
+  return table.render();
+}
+
+}  // namespace
+
+std::string CriticalPathReport::to_string(std::size_t max_steps) const {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed;
+  os << "critical path: T=" << reported_t << " path=" << path_length
+     << " steps=" << steps.size() << " reconciled=" << (reconciled ? "yes" : "no");
+  if (terminal_peer != sim::kNoPeer) os << " terminal=p" << terminal_peer;
+  os << '\n';
+  if (!complete) os << "  incomplete: " << incomplete_reason << '\n';
+  if (start_offset > 0) {
+    os << "  start offset: " << start_offset << " (root acts late)\n";
+  }
+  if (!by_edge_kind.empty()) {
+    os << attribution_table("edge kind", by_edge_kind, path_length);
+  }
+  if (!by_phase.empty()) os << attribution_table("phase", by_phase, path_length);
+  if (!by_peer.empty()) os << attribution_table("peer", by_peer, path_length);
+  if (!slack.empty()) {
+    constexpr std::size_t kMaxSlackLines = 8;
+    os << "slack (T - own termination, most critical first):\n";
+    for (std::size_t i = 0; i < slack.size() && i < kMaxSlackLines; ++i) {
+      os << "  p" << slack[i].peer << ": terminated at " << slack[i].termination
+         << ", slack " << slack[i].slack << '\n';
+    }
+    if (slack.size() > kMaxSlackLines) {
+      os << "  ... (" << (slack.size() - kMaxSlackLines) << " more peers)\n";
+    }
+  }
+  if (!steps.empty()) {
+    os << "path (root -> terminal):\n";
+    std::size_t first = 0;
+    if (steps.size() > max_steps) {
+      first = steps.size() - max_steps;
+      os << "  ... (" << first << " earlier steps)\n";
+    }
+    for (std::size_t i = first; i < steps.size(); ++i) {
+      const Step& s = steps[i];
+      os << "  ";
+      if (s.in_edge == CausalEdge::kRoot) {
+        os << "root      ";
+      } else {
+        std::ostringstream edge;
+        edge.precision(3);
+        edge << std::fixed << '+' << s.in_weight << ' '
+             << causal_edge_name(s.in_edge);
+        os << std::left << std::setw(16) << edge.str();
+      }
+      os << ' ' << s.label;
+      if (!s.phase.empty()) os << "  {" << s.phase << '}';
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace asyncdr::obs

@@ -1,0 +1,80 @@
+// The critical-path report: the longest happens-before chain realizing a
+// run's time complexity T, with its length attributed per phase, per peer,
+// and per edge kind, plus per-peer termination slack. Pure data — dr embeds
+// it in RunReport without calling into the obs library; construction and
+// rendering live in obs/causal.cpp and obs/critpath.cpp.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace asyncdr::obs {
+
+/// Why one event happened after another (see DESIGN.md, "Causal analysis").
+enum class CausalEdge {
+  kRoot,      ///< no parent: a peer start or an injected crash
+  kLink,      ///< send -> deliver/drop: propagation + link serialization
+  kQuery,     ///< a source query preceding the next local action (zero time)
+  kLocal,     ///< same-instant program order on one peer
+  kSequence,  ///< idle gap between consecutive actions of one peer
+};
+
+/// Stable lowercase name of an edge kind ("link", "local", ...).
+[[nodiscard]] const char* causal_edge_name(CausalEdge edge);
+
+/// The extracted critical path of one run.
+struct CriticalPathReport {
+  /// One event on the path, in root-to-terminal order.
+  struct Step {
+    std::size_t event_index = 0;  ///< index into the trace's event log
+    sim::PeerId peer = sim::kNoPeer;  ///< acting peer (recipient for deliver)
+    sim::Time at = 0;
+    std::string label;  ///< rendered trace event
+    CausalEdge in_edge = CausalEdge::kRoot;
+    sim::Time in_weight = 0;  ///< at - parent.at; 0 for the root
+    std::string phase;        ///< acting peer's phase covering `at`
+  };
+
+  /// Path time accumulated under one attribution key.
+  struct Attribution {
+    std::string key;
+    sim::Time time = 0;
+    std::size_t edges = 0;
+  };
+
+  /// How close a peer's own termination came to defining T.
+  struct PeerSlack {
+    sim::PeerId peer = sim::kNoPeer;
+    sim::Time termination = 0;
+    sim::Time slack = 0;  ///< reported_t - termination
+  };
+
+  /// Whether the whole run was visible: no trace overflow and a terminating
+  /// nonfaulty peer to anchor the path. When false, the path is the critical
+  /// prefix of what was recorded and `incomplete_reason` says why.
+  bool complete = false;
+  std::string incomplete_reason;
+  /// The invariant: `complete` and path_length == reported_t exactly (both
+  /// are copies of the same termination timestamp; the equality validates
+  /// the DAG wiring, like the phase-accounting reconciliation).
+  bool reconciled = false;
+  sim::Time reported_t = 0;
+  sim::Time path_length = 0;   ///< start_offset + sum of step weights
+  sim::Time start_offset = 0;  ///< root event time (late-starter offset)
+  sim::PeerId terminal_peer = sim::kNoPeer;
+
+  std::vector<Step> steps;
+  std::vector<Attribution> by_phase;      ///< key = phase name
+  std::vector<Attribution> by_peer;       ///< key = "p<id>"
+  std::vector<Attribution> by_edge_kind;  ///< key = causal_edge_name
+  /// Nonfaulty terminating peers by ascending slack (critical peer first).
+  std::vector<PeerSlack> slack;
+
+  /// Text tree: the verdict line, the attribution tables, the path steps.
+  [[nodiscard]] std::string to_string(std::size_t max_steps = 40) const;
+};
+
+}  // namespace asyncdr::obs

@@ -16,6 +16,7 @@ const char* kind_name(sim::TraceEvent::Kind kind) {
     case Kind::kQuery: return "query";
     case Kind::kTerminate: return "terminate";
     case Kind::kNote: return "note";
+    case Kind::kStart: return "start";
   }
   return "unknown";
 }
@@ -147,13 +148,105 @@ Json to_perfetto(const sim::Trace& trace,
         break;
       case Kind::kDrop:
       case Kind::kNote:
+      case Kind::kStart:
         break;  // notes already show up as phase slices
+    }
+  }
+
+  // Critical-path link edges as flow events: one "s"/"f" pair per cross-peer
+  // hop, binding to the enclosing phase slices ("bp": "e") so viewers draw
+  // the chain as arcs over the timeline. Endpoints that fall outside every
+  // slice of their track (a faulty sender that never opened a phase, say)
+  // are skipped — an unbound flow event is invalid trace-event JSON.
+  if (opts.critical_path != nullptr) {
+    const auto enclosed = [&](std::size_t tid, sim::Time at) {
+      for (const dr::PhaseSpan& span : phase_spans) {
+        if (span.peer != tid) continue;
+        const sim::Time end = span.end < span.begin ? span.begin : span.end;
+        if (span.begin <= at && at <= end) return true;
+      }
+      return false;
+    };
+    const auto flow_event = [&](const char* ph, std::size_t id,
+                                const CriticalPathReport::Step& step) {
+      Json ev = base_event("critical-path", ph, step.at * scale, step.peer);
+      ev["cat"] = "critpath";
+      ev["id"] = id;
+      if (ph[0] == 'f') ev["bp"] = "e";
+      return ev;
+    };
+    const std::vector<CriticalPathReport::Step>& steps =
+        opts.critical_path->steps;
+    for (std::size_t i = 1; i < steps.size(); ++i) {
+      if (steps[i].in_edge != CausalEdge::kLink) continue;
+      const CriticalPathReport::Step& src = steps[i - 1];
+      const CriticalPathReport::Step& dst = steps[i];
+      if (src.peer == sim::kNoPeer || dst.peer == sim::kNoPeer) continue;
+      if (!enclosed(src.peer, src.at) || !enclosed(dst.peer, dst.at)) continue;
+      events.push_back(flow_event("s", dst.event_index, src));
+      events.push_back(flow_event("f", dst.event_index, dst));
     }
   }
 
   Json doc = Json::object();
   doc["traceEvents"] = std::move(events);
   doc["displayTimeUnit"] = "ms";
+  return doc;
+}
+
+Json critical_path_json(const CriticalPathReport& report) {
+  const auto attribution = [](const std::vector<
+                               CriticalPathReport::Attribution>& rows) {
+    Json arr = Json::array();
+    for (const CriticalPathReport::Attribution& a : rows) {
+      Json row = Json::object();
+      row["key"] = a.key;
+      row["time"] = a.time;
+      row["edges"] = static_cast<std::uint64_t>(a.edges);
+      arr.push_back(std::move(row));
+    }
+    return arr;
+  };
+
+  Json doc = Json::object();
+  doc["complete"] = report.complete;
+  doc["reconciled"] = report.reconciled;
+  if (!report.incomplete_reason.empty()) {
+    doc["incomplete_reason"] = report.incomplete_reason;
+  }
+  doc["reported_t"] = report.reported_t;
+  doc["path_length"] = report.path_length;
+  doc["start_offset"] = report.start_offset;
+  if (report.terminal_peer != sim::kNoPeer) {
+    doc["terminal_peer"] = report.terminal_peer;
+  }
+  doc["by_phase"] = attribution(report.by_phase);
+  doc["by_peer"] = attribution(report.by_peer);
+  doc["by_edge_kind"] = attribution(report.by_edge_kind);
+
+  Json slack = Json::array();
+  for (const CriticalPathReport::PeerSlack& s : report.slack) {
+    Json row = Json::object();
+    row["peer"] = s.peer;
+    row["termination"] = s.termination;
+    row["slack"] = s.slack;
+    slack.push_back(std::move(row));
+  }
+  doc["slack"] = std::move(slack);
+
+  Json steps = Json::array();
+  for (const CriticalPathReport::Step& step : report.steps) {
+    Json row = Json::object();
+    row["event_index"] = static_cast<std::uint64_t>(step.event_index);
+    if (step.peer != sim::kNoPeer) row["peer"] = step.peer;
+    row["t"] = step.at;
+    row["label"] = step.label;
+    row["edge"] = causal_edge_name(step.in_edge);
+    row["weight"] = step.in_weight;
+    row["phase"] = step.phase;
+    steps.push_back(std::move(row));
+  }
+  doc["steps"] = std::move(steps);
   return doc;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "dr/phase.hpp"
+#include "obs/critpath.hpp"
 #include "obs/json.hpp"
 #include "sim/trace.hpp"
 
@@ -30,6 +31,12 @@ struct PerfettoOptions {
   /// Include per-message send/deliver instants (can dwarf the phase slices
   /// on large runs; off keeps only queries, crashes and terminations).
   bool include_messages = false;
+  /// When set, the critical path's cross-peer (link) edges are exported as
+  /// flow events ("s"/"f" pairs, cat "critpath") arcing across the peer
+  /// tracks. Flow endpoints outside every phase slice of their track are
+  /// skipped: trace-event flows must bind to an enclosing slice. Not owned;
+  /// must outlive the call.
+  const CriticalPathReport* critical_path = nullptr;
 };
 
 /// Builds the Chrome trace-event document: {"traceEvents": [...],
@@ -39,5 +46,10 @@ struct PerfettoOptions {
 Json to_perfetto(const sim::Trace& trace,
                  const std::vector<dr::PhaseSpan>& phase_spans, std::size_t k,
                  const PerfettoOptions& opts = {});
+
+/// The critical-path report as JSON: verdict fields, the per-phase / peer /
+/// edge-kind attributions, slack, and the path steps (the `critpath` CLI's
+/// --format json output and the chaos artifact payload).
+Json critical_path_json(const CriticalPathReport& report);
 
 }  // namespace asyncdr::obs

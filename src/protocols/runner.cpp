@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "obs/causal.hpp"
 
 namespace asyncdr::proto {
 
@@ -55,6 +56,10 @@ dr::RunReport run_scenario(const Scenario& scenario) {
 
   if (scenario.instrument) scenario.instrument(world);
   dr::RunReport report = world.run(scenario.max_events);
+  // Traced runs get the causal analysis for free: the critical path lands
+  // in the report (and stall diagnostics gain the critical prefix) before
+  // post_run sees either.
+  obs::embed_critical_path(world, report);
   if (scenario.post_run) scenario.post_run(world, report);
   return report;
 }

@@ -17,6 +17,7 @@ const char* kind_name(TraceEvent::Kind kind) {
     case TraceEvent::Kind::kQuery: return "query";
     case TraceEvent::Kind::kTerminate: return "terminate";
     case TraceEvent::Kind::kNote: return "note";
+    case TraceEvent::Kind::kStart: return "start";
   }
   return "?";
 }
@@ -43,17 +44,22 @@ Trace::Trace(const Engine& engine, std::size_t capacity)
 
 void Trace::on_send(const Message& msg, std::size_t unit_messages) {
   push(TraceEvent{TraceEvent::Kind::kSend, msg.sent_at, msg.from, msg.to,
-                  msg.payload->type_name(), unit_messages, {}});
+                  msg.payload->type_name(), unit_messages, {}, msg.id});
 }
 
 void Trace::on_deliver(const Message& msg) {
   push(TraceEvent{TraceEvent::Kind::kDeliver, engine_.now(), msg.from, msg.to,
-                  msg.payload->type_name(), msg.payload->size_bits(), {}});
+                  msg.payload->type_name(), msg.payload->size_bits(), {},
+                  msg.id});
 }
 
 void Trace::on_drop(const Message& msg) {
   push(TraceEvent{TraceEvent::Kind::kDrop, engine_.now(), msg.from, msg.to,
-                  msg.payload->type_name(), 0, {}});
+                  msg.payload->type_name(), 0, {}, msg.id});
+}
+
+void Trace::record_start(Time at, PeerId peer) {
+  push(TraceEvent{TraceEvent::Kind::kStart, at, peer, kNoPeer, {}, 0, {}});
 }
 
 void Trace::record_crash(Time at, PeerId peer) {
@@ -102,10 +108,9 @@ bool involves(const TraceEvent& ev, PeerId peer) {
 }  // namespace
 
 const TraceEvent* Trace::last_event_involving(PeerId peer) const {
-  for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
-    if (involves(*it, peer)) return &*it;
-  }
-  return nullptr;
+  if (peer == kNoPeer) return nullptr;
+  const auto it = last_involving_.find(peer);
+  return it == last_involving_.end() ? nullptr : &events_[it->second];
 }
 
 std::string Trace::render(PeerId only_peer, std::size_t max_lines) const {
@@ -137,6 +142,9 @@ void Trace::push(TraceEvent ev) {
     ++overflow_;
     return;
   }
+  const std::size_t index = events_.size();
+  if (ev.from != kNoPeer) last_involving_[ev.from] = index;
+  if (ev.to != kNoPeer) last_involving_[ev.to] = index;
   events_.push_back(std::move(ev));
 }
 

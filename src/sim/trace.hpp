@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -16,6 +17,9 @@
 #include "sim/types.hpp"
 
 namespace asyncdr::sim {
+
+/// Sentinel for TraceEvent::msg_id on events that are not tied to a message.
+inline constexpr std::uint64_t kNoMessageId = ~std::uint64_t{0};
 
 /// One recorded event.
 struct TraceEvent {
@@ -27,6 +31,7 @@ struct TraceEvent {
     kQuery,      ///< peer queried the source (bits in `detail_a`)
     kTerminate,  ///< peer finished
     kNote,       ///< free-form protocol annotation
+    kStart,      ///< peer's on_start fired (a causal root)
   };
 
   Kind kind = Kind::kNote;
@@ -36,6 +41,9 @@ struct TraceEvent {
   std::string payload_type;
   std::uint64_t detail_a = 0;  ///< payload bits / queried bits / unit msgs
   std::string note;
+  /// Network message id for send/deliver/drop events; ties a delivery back
+  /// to its causal parent send. kNoMessageId on every other kind.
+  std::uint64_t msg_id = kNoMessageId;
 
   [[nodiscard]] std::string to_string() const;
 };
@@ -53,6 +61,7 @@ class Trace final : public NetworkObserver {
   void on_drop(const Message& msg) override;
 
   /// Manual hooks (wired by dr::World when tracing is enabled).
+  void record_start(Time at, PeerId peer);
   void record_crash(Time at, PeerId peer);
   void record_query(Time at, PeerId peer, std::uint64_t bits);
   void record_terminate(Time at, PeerId peer);
@@ -70,6 +79,7 @@ class Trace final : public NetworkObserver {
   template <typename Pred>
   [[nodiscard]] std::vector<TraceEvent> filter(Pred&& pred) const {
     std::vector<TraceEvent> out;
+    out.reserve(events_.size());
     for (const TraceEvent& ev : events_) {
       if (pred(ev)) out.push_back(ev);
     }
@@ -83,7 +93,8 @@ class Trace final : public NetworkObserver {
   /// recipient), or nullptr if it never appears. Stall diagnostics use this
   /// to say what a stuck peer last did. Events with no recipient (queries,
   /// crashes, terminations carry `to == kNoPeer`) match on the actor only;
-  /// passing kNoPeer matches nothing.
+  /// passing kNoPeer matches nothing. O(1): served from a per-peer index
+  /// maintained on push, not a scan of the log.
   [[nodiscard]] const TraceEvent* last_event_involving(PeerId peer) const;
 
   /// Renders the (optionally peer-filtered) timeline, one event per line.
@@ -98,6 +109,9 @@ class Trace final : public NetworkObserver {
   std::size_t overflow_ = 0;
   Time first_dropped_at_ = -1;
   std::vector<TraceEvent> events_;
+  /// Index of the latest event each peer took part in; events_ never shrinks
+  /// so the indices stay valid for the trace's lifetime.
+  std::unordered_map<PeerId, std::size_t> last_involving_;
 };
 
 }  // namespace asyncdr::sim

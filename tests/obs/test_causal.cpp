@@ -1,0 +1,366 @@
+// The causal analysis layer: happens-before DAG construction over a trace,
+// critical-path extraction, and the reconciliation invariant — on every
+// fixed-seed run of every protocol the extracted path length must equal the
+// reported T *exactly* (both are copies of the same termination timestamp;
+// the equality validates the DAG wiring edge by edge).
+#include "obs/causal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adversary/crash_plan.hpp"
+#include "chaos/injectors.hpp"
+#include "common/rng.hpp"
+#include "obs/critpath.hpp"
+#include "protocols/runner.hpp"
+#include "sim/network.hpp"
+#include "sim/trace.hpp"
+
+namespace asyncdr::obs {
+namespace {
+
+using sim::TraceEvent;
+using Kind = TraceEvent::Kind;
+
+struct Ping final : sim::Payload {
+  std::size_t size_bits() const override { return 16; }
+  std::string type_name() const override { return "Ping"; }
+};
+
+// ---- DAG construction rules ----
+
+TEST(CausalGraph, DeliveriesAndDropsParentTheirSendViaMessageId) {
+  sim::Engine engine;
+  sim::Network net(engine, 3, 64);
+  sim::Trace trace(engine);
+  net.set_observer(&trace);
+  struct Sink final : sim::Receiver {
+    void deliver(const sim::Message&) override {}
+  } sink;
+  for (sim::PeerId i = 0; i < 3; ++i) net.attach(i, &sink);
+  net.send(0, 1, std::make_shared<Ping>());
+  net.send(0, 2, std::make_shared<Ping>());
+  engine.schedule_at(0.5, [&] { net.crash(2); });
+  engine.run();
+
+  const CausalGraph graph = build_causal_graph(trace);
+  const auto& events = trace.events();
+  ASSERT_EQ(graph.nodes.size(), events.size());
+  std::size_t link_edges = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    if (ev.kind != Kind::kDeliver && ev.kind != Kind::kDrop) continue;
+    ++link_edges;
+    const std::ptrdiff_t parent = graph.nodes[i].parent;
+    ASSERT_GE(parent, 0) << ev.to_string();
+    ASSERT_LT(parent, static_cast<std::ptrdiff_t>(i));
+    const TraceEvent& src = events[static_cast<std::size_t>(parent)];
+    EXPECT_EQ(src.kind, Kind::kSend) << ev.to_string();
+    EXPECT_EQ(src.msg_id, ev.msg_id);
+    EXPECT_EQ(graph.nodes[i].edge, CausalEdge::kLink);
+  }
+  EXPECT_EQ(link_edges, 2u);  // one delivery + one drop
+}
+
+TEST(CausalGraph, SameInstantSendsChainInProgramOrder) {
+  sim::Engine engine;
+  sim::Network net(engine, 2, 64);
+  sim::Trace trace(engine);
+  net.set_observer(&trace);
+  struct Sink final : sim::Receiver {
+    void deliver(const sim::Message&) override {}
+  } sink;
+  net.attach(0, &sink);
+  net.attach(1, &sink);
+  net.send(0, 1, std::make_shared<Ping>());
+  net.send(0, 1, std::make_shared<Ping>());
+  engine.run();
+
+  const CausalGraph graph = build_causal_graph(trace);
+  // The first send has no prior action: a root. The second chains to it at
+  // the same instant: program order, zero-weight.
+  ASSERT_GE(graph.nodes.size(), 2u);
+  EXPECT_EQ(graph.nodes[0].parent, -1);
+  EXPECT_EQ(graph.nodes[0].edge, CausalEdge::kRoot);
+  EXPECT_EQ(graph.nodes[1].parent, 0);
+  EXPECT_EQ(graph.nodes[1].edge, CausalEdge::kLocal);
+}
+
+TEST(CausalGraph, StartsAndCrashesAreRootsAndQueriesLabelTheirOutEdge) {
+  sim::Engine engine;
+  sim::Trace trace(engine);
+  trace.record_start(0.0, 4);
+  trace.record_query(0.0, 4, 16);
+  trace.record_terminate(2.5, 4);
+  trace.record_crash(1.0, 2);
+  const CausalGraph graph = build_causal_graph(trace);
+  ASSERT_EQ(graph.nodes.size(), 4u);
+  EXPECT_EQ(graph.nodes[0].parent, -1);
+  EXPECT_EQ(graph.nodes[0].edge, CausalEdge::kRoot);
+  // start -> query at the same instant: local program order.
+  EXPECT_EQ(graph.nodes[1].parent, 0);
+  EXPECT_EQ(graph.nodes[1].edge, CausalEdge::kLocal);
+  // query -> terminate: the in-edge is labeled by its query parent even
+  // across idle time.
+  EXPECT_EQ(graph.nodes[2].parent, 1);
+  EXPECT_EQ(graph.nodes[2].edge, CausalEdge::kQuery);
+  EXPECT_EQ(graph.nodes[3].parent, -1);
+  EXPECT_EQ(graph.nodes[3].edge, CausalEdge::kRoot);
+}
+
+TEST(CausalGraph, ParentsAlwaysPrecedeChildren) {
+  proto::Scenario s;
+  s.cfg = dr::Config{.n = 256, .k = 8, .beta = 0.25, .message_bits = 1024,
+                     .seed = 41};
+  s.honest = proto::make_committee();
+  s.crashes = adv::CrashPlan::silent_prefix(s.cfg.max_faulty());
+  s.instrument = [](dr::World& world) { world.enable_trace(); };
+  s.post_run = [](dr::World& world, const dr::RunReport&) {
+    const CausalGraph graph = build_causal_graph(*world.trace());
+    for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+      ASSERT_LT(graph.nodes[i].parent, static_cast<std::ptrdiff_t>(i));
+    }
+  };
+  ASSERT_TRUE(proto::run_scenario(s).ok());
+}
+
+// ---- Golden reconciliation: all six protocols, fixed seeds ----
+
+/// Wraps the scenario so the run is traced (run_scenario then embeds the
+/// critical path automatically).
+proto::Scenario traced(proto::Scenario s) {
+  auto inner = std::move(s.instrument);
+  s.instrument = [inner = std::move(inner)](dr::World& world) {
+    world.enable_trace();
+    if (inner) inner(world);
+  };
+  return s;
+}
+
+/// The golden assertion bundle: the run succeeds, the path reconciles with
+/// the measured T exactly, and the attribution tables cover the full length.
+void expect_reconciled(const char* what, proto::Scenario s) {
+  const dr::RunReport report = proto::run_scenario(traced(std::move(s)));
+  ASSERT_TRUE(report.ok()) << what << '\n' << report.to_string();
+  ASSERT_TRUE(report.critical_path.has_value()) << what;
+  const CriticalPathReport& cp = *report.critical_path;
+  EXPECT_TRUE(cp.complete) << what << ": " << cp.incomplete_reason;
+  EXPECT_TRUE(cp.reconciled) << what << '\n' << cp.to_string();
+  // Exact equality on doubles by design: the weights telescope, so any
+  // difference at all means a miswired edge.
+  EXPECT_EQ(cp.path_length, report.time_complexity) << what;
+
+  ASSERT_FALSE(cp.steps.empty()) << what;
+  EXPECT_EQ(cp.steps.front().in_edge, CausalEdge::kRoot);
+  EXPECT_EQ(cp.steps.front().at, cp.start_offset);
+  EXPECT_NE(cp.terminal_peer, sim::kNoPeer);
+  EXPECT_EQ(cp.steps.back().peer, cp.terminal_peer);
+
+  // Recomputing the telescoped sum in step order reproduces path_length
+  // bit for bit (same additions, same order).
+  sim::Time total = cp.start_offset;
+  for (const CriticalPathReport::Step& step : cp.steps) {
+    EXPECT_GE(step.in_weight, 0.0);
+    total += step.in_weight;
+  }
+  EXPECT_EQ(total, cp.path_length) << what;
+
+  // Every attribution axis partitions the same edge weights.
+  const auto axis_total = [](const auto& rows) {
+    sim::Time t = 0;
+    std::size_t edges = 0;
+    for (const auto& row : rows) {
+      t += row.time;
+      edges += row.edges;
+    }
+    return std::pair<sim::Time, std::size_t>{t, edges};
+  };
+  for (const auto* axis : {&cp.by_phase, &cp.by_peer, &cp.by_edge_kind}) {
+    const auto [t, edges] = axis_total(*axis);
+    EXPECT_NEAR(t, cp.path_length - cp.start_offset, 1e-9) << what;
+    EXPECT_EQ(edges, cp.steps.size() - 1) << what;
+  }
+
+  // Slack is ascending, nonnegative, and the critical peer leads with zero.
+  ASSERT_FALSE(cp.slack.empty()) << what;
+  EXPECT_EQ(cp.slack.front().slack, 0.0);
+  for (std::size_t i = 0; i < cp.slack.size(); ++i) {
+    EXPECT_GE(cp.slack[i].slack, 0.0);
+    if (i > 0) {
+      EXPECT_LE(cp.slack[i - 1].slack, cp.slack[i].slack);
+    }
+  }
+
+  EXPECT_NE(cp.to_string().find("reconciled=yes"), std::string::npos) << what;
+}
+
+TEST(CriticalPathGolden, NaiveFaultFree) {
+  proto::Scenario s;
+  s.cfg = dr::Config{.n = 256, .k = 4, .beta = 0.0, .message_bits = 128,
+                     .seed = 11};
+  s.honest = proto::make_naive();
+  expect_reconciled("naive", std::move(s));
+}
+
+TEST(CriticalPathGolden, CrashOneUnderACrash) {
+  proto::Scenario s;
+  s.cfg = dr::Config{.n = 512, .k = 8, .beta = 0.125, .message_bits = 256,
+                     .seed = 12};
+  s.honest = proto::make_crash_one();
+  s.crashes.add_at_time(3, 0.7);
+  expect_reconciled("crash_one", std::move(s));
+}
+
+TEST(CriticalPathGolden, CrashMultiUnderRandomCrashes) {
+  proto::Scenario s;
+  s.cfg = dr::Config{.n = 1024, .k = 6, .beta = 0.34, .message_bits = 256,
+                     .seed = 13};
+  s.honest = proto::make_crash_multi();
+  Rng rng(13);
+  s.crashes = adv::CrashPlan::random(s.cfg, rng, s.cfg.max_faulty(), 8.0);
+  expect_reconciled("crash_multi", std::move(s));
+}
+
+TEST(CriticalPathGolden, CommitteeUnderFlipAllLiars) {
+  proto::Scenario s;
+  s.cfg = dr::Config{.n = 256, .k = 8, .beta = 0.25, .message_bits = 1024,
+                     .seed = 14};
+  s.honest = proto::make_committee();
+  s.byzantine = proto::make_committee_liar(proto::CommitteeLiarPeer::Mode::kFlipAll);
+  s.byz_ids = proto::pick_faulty(s.cfg, s.cfg.max_faulty(), 14);
+  expect_reconciled("committee", std::move(s));
+}
+
+TEST(CriticalPathGolden, TwoCycleUnderVoteStuffing) {
+  proto::Scenario s;
+  s.cfg = dr::Config{.n = 1 << 12, .k = 128, .beta = 0.125,
+                     .message_bits = 1024, .seed = 15};
+  s.honest = proto::make_two_cycle(2.0);
+  s.byzantine = proto::make_vote_stuffer(2.0, /*target_segment=*/0);
+  s.byz_ids = proto::pick_faulty(s.cfg, s.cfg.max_faulty(), 15);
+  expect_reconciled("two_cycle", std::move(s));
+}
+
+TEST(CriticalPathGolden, MultiCycleUnderSilentByzantine) {
+  proto::Scenario s;
+  s.cfg = dr::Config{.n = 1 << 12, .k = 128, .beta = 0.125,
+                     .message_bits = 1024, .seed = 16};
+  s.honest = proto::make_multi_cycle(2.0);
+  s.byzantine = proto::make_silent_byz();
+  s.byz_ids = proto::pick_faulty(s.cfg, s.cfg.max_faulty(), 16);
+  expect_reconciled("multi_cycle", std::move(s));
+}
+
+// ---- Phase attribution ----
+
+TEST(CriticalPath, CommitteePathCarriesNamedPhases) {
+  proto::Scenario s;
+  s.cfg = dr::Config{.n = 256, .k = 8, .beta = 0.25, .message_bits = 1024,
+                     .seed = 17};
+  s.honest = proto::make_committee();
+  s.crashes = adv::CrashPlan::silent_prefix(s.cfg.max_faulty());
+  const dr::RunReport report = proto::run_scenario(traced(std::move(s)));
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report.critical_path.has_value());
+  const CriticalPathReport& cp = *report.critical_path;
+  bool named = false;
+  for (const CriticalPathReport::Attribution& row : cp.by_phase) {
+    if (!row.key.empty() && row.key != dr::kUnphased) named = true;
+  }
+  EXPECT_TRUE(named) << cp.to_string();
+  // Every step after the root is phase-labeled.
+  for (std::size_t i = 1; i < cp.steps.size(); ++i) {
+    EXPECT_FALSE(cp.steps[i].phase.empty());
+  }
+}
+
+// ---- Incomplete runs ----
+
+TEST(CriticalPath, StalledRunYieldsTheCriticalPrefix) {
+  proto::Scenario s;
+  s.cfg = dr::Config{.n = 256, .k = 8, .beta = 0.25, .message_bits = 1024,
+                     .seed = 31};
+  s.honest = proto::make_committee();
+  s.max_events = 12;  // starve the engine: the run stalls mid-flight
+  const dr::RunReport report = proto::run_scenario(traced(std::move(s)));
+  ASSERT_FALSE(report.ok());
+  ASSERT_TRUE(report.critical_path.has_value());
+  const CriticalPathReport& cp = *report.critical_path;
+  EXPECT_FALSE(cp.complete);
+  EXPECT_FALSE(cp.reconciled);
+  EXPECT_NE(cp.incomplete_reason.find("stalled"), std::string::npos)
+      << cp.incomplete_reason;
+  EXPECT_FALSE(cp.steps.empty());
+  // The stall diagnostics carry the causal chain that got each stuck peer
+  // where it is.
+  EXPECT_NE(report.stall.find("critical prefix of p"), std::string::npos)
+      << report.stall;
+}
+
+TEST(CriticalPath, OverflowedTraceIsReportedAsAPrefix) {
+  proto::Scenario s;
+  s.cfg = dr::Config{.n = 256, .k = 8, .beta = 0.25, .message_bits = 1024,
+                     .seed = 32};
+  s.honest = proto::make_committee();
+  s.instrument = [](dr::World& world) { world.enable_trace(/*capacity=*/64); };
+  const dr::RunReport report = proto::run_scenario(std::move(s));
+  ASSERT_TRUE(report.critical_path.has_value());
+  const CriticalPathReport& cp = *report.critical_path;
+  EXPECT_FALSE(cp.complete);
+  EXPECT_FALSE(cp.reconciled);
+  EXPECT_NE(cp.incomplete_reason.find("overflowed"), std::string::npos)
+      << cp.incomplete_reason;
+}
+
+// ---- Chaos sweep: reconciliation survives every injector composition ----
+
+TEST(CriticalPath, ChaosInjectorsNeverBreakReconciliation) {
+  chaos::ChaosOptions options;
+  options.n_cap = 512;
+  options.k_cap = 10;
+  for (const chaos::ProtocolProfile& profile : chaos::protocol_registry()) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      chaos::ChaosCase cs = chaos::sample_case(profile, seed, options);
+      cs.scenario.max_events = 2'000'000;
+      const dr::RunReport report =
+          proto::run_scenario(traced(std::move(cs.scenario)));
+      ASSERT_TRUE(report.critical_path.has_value())
+          << profile.name << " seed " << seed << ": " << cs.description;
+      const CriticalPathReport& cp = *report.critical_path;
+      if (cp.complete) {
+        // Whatever the injectors did to the schedule, crashes, or coalition,
+        // a fully visible run must reconcile exactly.
+        EXPECT_TRUE(cp.reconciled)
+            << profile.name << " seed " << seed << '\n' << cp.to_string();
+        EXPECT_EQ(cp.path_length, report.time_complexity)
+            << profile.name << " seed " << seed;
+      } else {
+        EXPECT_FALSE(cp.incomplete_reason.empty())
+            << profile.name << " seed " << seed;
+      }
+    }
+  }
+}
+
+// ---- Stall-prefix renderer ----
+
+TEST(CriticalPath, RenderCriticalPrefixNamesThePeerAndItsChain) {
+  sim::Engine engine;
+  sim::Trace trace(engine);
+  trace.record_start(0.0, 1);
+  trace.record_query(0.0, 1, 8);
+  trace.record_note(1.5, 1, "waiting");
+  const CausalGraph graph = build_causal_graph(trace);
+  const std::string text = render_critical_prefix(trace, graph, 1);
+  EXPECT_NE(text.find("critical prefix of p1"), std::string::npos) << text;
+  EXPECT_NE(text.find("3 causal steps"), std::string::npos) << text;
+  // A peer the trace never saw renders nothing.
+  EXPECT_TRUE(render_critical_prefix(trace, graph, 7).empty());
+}
+
+}  // namespace
+}  // namespace asyncdr::obs

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -187,6 +188,90 @@ TEST(Perfetto, CrashesBecomeInstantsAndTimesScaleByTheOption) {
     }
   }
   EXPECT_TRUE(saw_crash);
+}
+
+TEST(Perfetto, CriticalPathFlowsArePairedAndSliceBound) {
+  with_traced_committee_run(29, [](const sim::Trace& trace,
+                                   const dr::RunReport& report) {
+    ASSERT_TRUE(report.critical_path.has_value());
+    PerfettoOptions opts;
+    opts.critical_path = &*report.critical_path;
+    const Json doc = to_perfetto(trace, report.phase_spans, 8, opts);
+    const Json* events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+
+    struct Slice {
+      std::int64_t pid, tid;
+      double ts, dur;
+    };
+    struct Flow {
+      std::int64_t pid, tid, id;
+      double ts;
+    };
+    std::vector<Slice> slices;
+    std::vector<Flow> starts, finishes;
+    for (std::size_t i = 0; i < events->size(); ++i) {
+      const Json& ev = events->at(i);
+      const std::string ph = ev.find("ph")->as_string();
+      if (ph == "X") {
+        slices.push_back({ev.find("pid")->as_int(), ev.find("tid")->as_int(),
+                          ev.find("ts")->as_number(),
+                          ev.find("dur")->as_number()});
+      } else if (ph == "s" || ph == "f") {
+        // Flow endpoints carry the shared binding triple plus an id.
+        EXPECT_EQ(ev.find("name")->as_string(), "critical-path");
+        ASSERT_NE(ev.find("cat"), nullptr) << ev.dump();
+        EXPECT_EQ(ev.find("cat")->as_string(), "critpath");
+        ASSERT_NE(ev.find("id"), nullptr) << ev.dump();
+        ASSERT_NE(ev.find("ts"), nullptr) << ev.dump();
+        ASSERT_NE(ev.find("tid"), nullptr) << ev.dump();
+        const Flow flow{ev.find("pid")->as_int(), ev.find("tid")->as_int(),
+                        ev.find("id")->as_int(), ev.find("ts")->as_number()};
+        if (ph == "s") {
+          EXPECT_EQ(ev.find("bp"), nullptr);
+          starts.push_back(flow);
+        } else {
+          ASSERT_NE(ev.find("bp"), nullptr) << ev.dump();
+          EXPECT_EQ(ev.find("bp")->as_string(), "e");
+          finishes.push_back(flow);
+        }
+      }
+    }
+
+    // The committee critical path crosses peers, so there are link hops.
+    ASSERT_GT(starts.size(), 0u);
+    ASSERT_EQ(starts.size(), finishes.size());
+    const auto enclosed = [&](const Flow& flow) {
+      for (const Slice& slice : slices) {
+        if (slice.pid == flow.pid && slice.tid == flow.tid &&
+            slice.ts <= flow.ts && flow.ts <= slice.ts + slice.dur) {
+          return true;
+        }
+      }
+      return false;
+    };
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+      // Emitted as adjacent pairs: each start's id resolves to its finish,
+      // time flows forward, and both endpoints bind to an enclosing slice.
+      EXPECT_EQ(starts[i].id, finishes[i].id);
+      EXPECT_LE(starts[i].ts, finishes[i].ts);
+      EXPECT_TRUE(enclosed(starts[i])) << "unbound flow start " << i;
+      EXPECT_TRUE(enclosed(finishes[i])) << "unbound flow finish " << i;
+    }
+  });
+}
+
+TEST(Perfetto, FlowsAreAbsentWithoutACriticalPath) {
+  with_traced_committee_run(30, [](const sim::Trace& trace,
+                                   const dr::RunReport& report) {
+    const Json doc = to_perfetto(trace, report.phase_spans, 8);
+    const Json* events = doc.find("traceEvents");
+    for (std::size_t i = 0; i < events->size(); ++i) {
+      const std::string ph = events->at(i).find("ph")->as_string();
+      EXPECT_NE(ph, "s");
+      EXPECT_NE(ph, "f");
+    }
+  });
 }
 
 TEST(Perfetto, MessageInstantsAreOptIn) {

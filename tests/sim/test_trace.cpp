@@ -130,6 +130,77 @@ TEST(Trace, FullProtocolRunProducesCoherentTimeline) {
   EXPECT_EQ(traced_bits, reported);
 }
 
+TEST(Trace, StartsAreRecordedAndSendsCarryMessageIds) {
+  dr::Config cfg{.n = 1024, .k = 6, .beta = 0.34, .message_bits = 256,
+                 .seed = 4};
+  dr::World world(cfg, proto::random_input(cfg.n, cfg.seed));
+  sim::Trace& trace = world.enable_trace();
+  for (sim::PeerId id = 0; id < cfg.k; ++id) {
+    world.set_peer(id, std::make_unique<proto::CrashMultiPeer>());
+  }
+  ASSERT_TRUE(world.run().ok());
+
+  // Every peer started (no crashes here), each start a causal root.
+  EXPECT_EQ(trace.count(TraceEvent::Kind::kStart), cfg.k);
+  for (const TraceEvent& ev : trace.events()) {
+    const bool network_event = ev.kind == TraceEvent::Kind::kSend ||
+                               ev.kind == TraceEvent::Kind::kDeliver ||
+                               ev.kind == TraceEvent::Kind::kDrop;
+    if (network_event) {
+      EXPECT_NE(ev.msg_id, sim::kNoMessageId) << ev.to_string();
+    } else {
+      EXPECT_EQ(ev.msg_id, sim::kNoMessageId) << ev.to_string();
+    }
+  }
+  // Each delivery's id resolves to an earlier send on the same link.
+  for (std::size_t i = 0; i < trace.events().size(); ++i) {
+    const TraceEvent& ev = trace.events()[i];
+    if (ev.kind != TraceEvent::Kind::kDeliver) continue;
+    bool matched = false;
+    for (std::size_t j = 0; j < i && !matched; ++j) {
+      const TraceEvent& prior = trace.events()[j];
+      matched = prior.kind == TraceEvent::Kind::kSend &&
+                prior.msg_id == ev.msg_id && prior.from == ev.from &&
+                prior.to == ev.to;
+    }
+    EXPECT_TRUE(matched) << ev.to_string();
+  }
+}
+
+TEST(Trace, LastEventInvolvingMatchesALinearScan) {
+  dr::Config cfg{.n = 1024, .k = 6, .beta = 0.34, .message_bits = 256,
+                 .seed = 5};
+  dr::World world(cfg, proto::random_input(cfg.n, cfg.seed));
+  sim::Trace& trace = world.enable_trace();
+  for (sim::PeerId id = 0; id < cfg.k; ++id) {
+    world.set_peer(id, std::make_unique<proto::CrashMultiPeer>());
+  }
+  world.schedule_crash_at(1, 0.6);
+  ASSERT_TRUE(world.run().ok());
+
+  // The O(1) index must agree with the definition: the latest event the
+  // peer appears in as actor or recipient.
+  for (sim::PeerId peer = 0; peer <= cfg.k; ++peer) {
+    const TraceEvent* expected = nullptr;
+    for (const TraceEvent& ev : trace.events()) {
+      if (ev.from == peer || ev.to == peer) expected = &ev;
+    }
+    EXPECT_EQ(trace.last_event_involving(peer), expected) << "peer " << peer;
+  }
+  EXPECT_EQ(trace.last_event_involving(sim::kNoPeer), nullptr);
+}
+
+TEST(Trace, LastEventInvolvingSurvivesQueryCoalescing) {
+  sim::Engine engine;
+  sim::Trace trace(engine);
+  trace.record_query(0.0, 5, 10);
+  trace.record_query(0.0, 5, 20);  // coalesced into the first event
+  const TraceEvent* last = trace.last_event_involving(5);
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last, &trace.events()[0]);
+  EXPECT_EQ(last->detail_a, 30u);
+}
+
 TEST(Trace, EnableAfterRunRejected) {
   dr::Config cfg{.n = 32, .k = 2, .beta = 0.0, .message_bits = 64, .seed = 1};
   dr::World world(cfg, BitVec(32));

@@ -5,20 +5,65 @@ Usage: check_perfetto.py TRACE.json
 
 Checks the invariants the viewers rely on: a traceEvents array where every
 event carries name/ph/pid, timeline events ("X", "i") carry ts/tid, complete
-slices carry a non-negative dur, and instants carry a scope. Exit 0 on a
-valid file, 1 on a schema violation, 2 on a usage/parse error.
+slices carry a non-negative dur, instants carry a scope, and flow events
+("s", "t", "f") carry an id, pair up start-to-finish, and bind to an
+enclosing complete slice on their (pid, tid) track — an unbound flow arc is
+invalid and viewers drop or misdraw it. Exit 0 on a valid file, 1 on a
+schema violation, 2 on a usage/parse error.
 """
 
 import json
 import sys
 
 TIMELINE_PHASES = {"X", "i"}
-KNOWN_PHASES = TIMELINE_PHASES | {"M"}
+FLOW_PHASES = {"s", "t", "f"}
+KNOWN_PHASES = TIMELINE_PHASES | FLOW_PHASES | {"M"}
 
 
 def fail(msg):
     print(f"invalid trace: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_flows(events):
+    """Flow arcs: ids chain starts to finishes through enclosing slices."""
+    slices = [ev for ev in events if ev["ph"] == "X"]
+
+    def enclosed(ev):
+        for s in slices:
+            if (s["pid"], s.get("tid")) != (ev["pid"], ev.get("tid")):
+                continue
+            if s["ts"] <= ev["ts"] <= s["ts"] + s["dur"]:
+                return True
+        return False
+
+    chains = {}
+    for i, ev in enumerate(events):
+        if ev["ph"] not in FLOW_PHASES:
+            continue
+        where = f"traceEvents[{i}]"
+        if "id" not in ev:
+            fail(f"{where} flow event lacks an id: {ev}")
+        if not enclosed(ev):
+            fail(f"{where} flow endpoint is not enclosed by any slice on "
+                 f"its track: {ev}")
+        chains.setdefault(ev["id"], []).append(ev)
+
+    flows = 0
+    for flow_id, chain in sorted(chains.items(), key=lambda kv: str(kv[0])):
+        phases = [ev["ph"] for ev in chain]
+        if phases.count("s") != 1 or phases.count("f") != 1:
+            fail(f"flow id {flow_id!r} needs exactly one start and one "
+                 f"finish, got phases {phases}")
+        if phases[0] != "s" or phases[-1] != "f":
+            fail(f"flow id {flow_id!r} must run start -> finish, got "
+                 f"phases {phases}")
+        for prev, cur in zip(chain, chain[1:]):
+            if cur["ts"] < prev["ts"]:
+                fail(f"flow id {flow_id!r} goes backwards in time: "
+                     f"{prev['ts']} -> {cur['ts']}")
+        flows += 1
+    return flows
 
 
 def main():
@@ -43,7 +88,7 @@ def main():
         ph = ev["ph"]
         if ph not in KNOWN_PHASES:
             fail(f"{where} has unexpected ph {ph!r}")
-        if ph in TIMELINE_PHASES:
+        if ph in TIMELINE_PHASES or ph in FLOW_PHASES:
             for key in ("ts", "tid"):
                 if key not in ev:
                     fail(f"{where} ({ph}) lacks {key}: {ev}")
@@ -53,9 +98,12 @@ def main():
         if ph == "i" and "s" not in ev:
             fail(f"{where} instant lacks a scope: {ev}")
 
+    flows = check_flows(events)
+
     slices = sum(1 for ev in events if ev["ph"] == "X")
     instants = sum(1 for ev in events if ev["ph"] == "i")
-    print(f"ok: {len(events)} events ({slices} slices, {instants} instants)")
+    print(f"ok: {len(events)} events ({slices} slices, {instants} instants, "
+          f"{flows} flows)")
     return 0
 
 

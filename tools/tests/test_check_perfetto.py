@@ -34,6 +34,15 @@ def metadata_event():
             "args": {"name": "peer"}}
 
 
+def flow_event(ph, **over):
+    ev = {"name": "critical-path", "ph": ph, "cat": "critpath", "pid": 1,
+          "tid": 2, "ts": 1.0, "id": 7}
+    if ph == "f":
+        ev["bp"] = "e"
+    ev.update(over)
+    return ev
+
+
 class CheckPerfettoTest(unittest.TestCase):
     def setUp(self):
         self.dir = tempfile.TemporaryDirectory(prefix="check-perfetto-test-")
@@ -119,6 +128,68 @@ class CheckPerfettoTest(unittest.TestCase):
     def test_metadata_event_needs_no_timeline_fields(self):
         code, out, _ = self.run_tool(self.trace([metadata_event()]))
         self.assertEqual(code, 0, out)
+
+    def test_valid_flow_pair_passes(self):
+        # Start and finish on tracks covered by slices, chained by one id.
+        path = self.trace([
+            slice_event(tid=1), slice_event(tid=2),
+            flow_event("s", tid=1, ts=1.0),
+            flow_event("f", tid=2, ts=3.0),
+        ])
+        code, out, _ = self.run_tool(path)
+        self.assertEqual(code, 0, out)
+        self.assertIn("1 flows", out)
+
+    def test_flow_without_id_fails(self):
+        ev = flow_event("s")
+        del ev["id"]
+        code, _, err = self.run_tool(self.trace([slice_event(), ev]))
+        self.assertEqual(code, 1)
+        self.assertIn("id", err)
+
+    def test_flow_missing_ts_or_tid_fails(self):
+        for key in ("ts", "tid"):
+            ev = flow_event("s")
+            del ev[key]
+            code, _, err = self.run_tool(self.trace([slice_event(), ev]))
+            self.assertEqual(code, 1, f"missing {key} accepted")
+
+    def test_unbound_flow_endpoint_fails(self):
+        # The finish lands on a track with no enclosing slice.
+        path = self.trace([
+            slice_event(tid=2),
+            flow_event("s", tid=2, ts=1.0),
+            flow_event("f", tid=9, ts=3.0),
+        ])
+        code, _, err = self.run_tool(path)
+        self.assertEqual(code, 1)
+        self.assertIn("not enclosed", err)
+
+    def test_flow_endpoint_outside_slice_times_fails(self):
+        path = self.trace([
+            slice_event(tid=2, ts=0.0, dur=5.0),
+            flow_event("s", tid=2, ts=6.0),
+            flow_event("f", tid=2, ts=7.0),
+        ])
+        code, _, err = self.run_tool(path)
+        self.assertEqual(code, 1)
+        self.assertIn("not enclosed", err)
+
+    def test_unpaired_flow_start_fails(self):
+        path = self.trace([slice_event(tid=2), flow_event("s", tid=2)])
+        code, _, err = self.run_tool(path)
+        self.assertEqual(code, 1)
+        self.assertIn("exactly one start and one finish", err)
+
+    def test_flow_running_backwards_in_time_fails(self):
+        path = self.trace([
+            slice_event(tid=2),
+            flow_event("s", tid=2, ts=4.0),
+            flow_event("f", tid=2, ts=1.0),
+        ])
+        code, _, err = self.run_tool(path)
+        self.assertEqual(code, 1)
+        self.assertIn("backwards", err)
 
     def test_malformed_json_is_usage_error(self):
         path = self.trace(None, raw="{broken")

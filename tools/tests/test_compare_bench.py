@@ -112,6 +112,20 @@ class CompareBenchTest(unittest.TestCase):
         self.assertEqual(code, 0, out)
         self.assertIn("note: new entry", out)
 
+    def test_extra_critpath_fields_in_fresh_entries_are_tolerated(self):
+        # Traced benches append critpath_* fields to existing entries; the
+        # comparator diffs q/t/m means only, so baselines that predate the
+        # fields keep passing with zero diff noise.
+        enriched = entry(q=100.0)
+        enriched.update({"critpath_len_mean": 9.5, "critpath_link_mean": 7.0,
+                         "critpath_local_mean": 2.5, "critpath_reconciled": 5})
+        base = self.path("base.json", bench_doc([entry(q=100.0)]))
+        fresh = self.path("fresh.json", bench_doc([enriched]))
+        code, out, _ = self.run_tool(base, fresh)
+        self.assertEqual(code, 0, out)
+        self.assertIn("0 problem(s)", out)
+        self.assertNotIn("note: new entry", out)
+
     def test_metric_missing_on_either_side_is_skipped(self):
         lean = {"section": "s", "label": "l", "q_mean": 100.0}
         base = self.path("base.json", bench_doc([lean]))

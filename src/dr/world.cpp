@@ -317,11 +317,10 @@ StallReport World::build_stall_report(bool budget_exhausted) const {
     }
     stall.stuck_peers.push_back(std::move(p));
   }
-  for (sim::PeerId from = 0; from < cfg_.k; ++from) {
-    for (sim::PeerId to = 0; to < cfg_.k; ++to) {
-      const std::uint32_t inflight = net_.in_flight(from, to);
-      if (inflight > 0) stall.busy_links.push_back({from, to, inflight});
-    }
+  // The network enumerates busy links itself: in sparse mode that walks
+  // O(active links), not the k^2 scan the dense layout needed.
+  for (const sim::Network::BusyLink& l : net_.busy_links()) {
+    stall.busy_links.push_back({l.from, l.to, l.in_flight});
   }
   if (trace_ && trace_->dropped_events() > 0) {
     stall.trace_cutoff = trace_->first_dropped_at();

@@ -40,7 +40,7 @@ struct StallReport {
   struct LinkState {
     sim::PeerId from = sim::kNoPeer;
     sim::PeerId to = sim::kNoPeer;
-    std::uint32_t in_flight = 0;
+    std::uint64_t in_flight = 0;  ///< 64-bit: replication stressors multiply copies
   };
 
   bool budget_exhausted = false;

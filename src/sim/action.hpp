@@ -1,0 +1,128 @@
+// Small-buffer-optimized move-only callable used for engine events. The
+// discrete-event hot path schedules tens of millions of closures per run;
+// std::function heap-allocates most of them (message captures exceed its
+// tiny inline buffer), so the engine uses this type instead: callables up
+// to kInlineBytes live inside the object, larger ones fall back to a single
+// heap cell. Invocation, relocation, and destruction dispatch through one
+// static ops table per callable type — no virtual bases, no RTTI.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace asyncdr::sim {
+
+/// Move-only `void()` callable with inline storage for small captures.
+class InlineAction {
+ public:
+  /// Sized so a delivery closure (this + Message: two peer ids, a shared
+  /// payload pointer, a timestamp, a message id) and a broadcast-bucket
+  /// closure (this + sender + payload + timestamp + entry vector) both fit
+  /// without touching the heap.
+  static constexpr std::size_t kInlineBytes = 64;
+
+  InlineAction() noexcept = default;
+  InlineAction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineAction> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineAction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InlineAction(InlineAction&& other) noexcept { take(other); }
+
+  InlineAction& operator=(InlineAction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+
+  InlineAction(const InlineAction&) = delete;
+  InlineAction& operator=(const InlineAction&) = delete;
+
+  ~InlineAction() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  /// Invokes the callable. Undefined on an empty action (the engine rejects
+  /// empty actions at scheduling time).
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Move-constructs dst from src and destroys src (a "relocate"); both
+    /// point at raw storage.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* self) { (*std::launder(reinterpret_cast<D*>(self)))(); },
+      [](void* dst, void* src) noexcept {
+        D* s = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* self) noexcept {
+        std::launder(reinterpret_cast<D*>(self))->~D();
+      },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* self) { (**std::launder(reinterpret_cast<D**>(self)))(); },
+      [](void* dst, void* src) noexcept {
+        *reinterpret_cast<D**>(dst) = *std::launder(reinterpret_cast<D**>(src));
+      },
+      [](void* self) noexcept {
+        delete *std::launder(reinterpret_cast<D**>(self));
+      },
+  };
+
+  void take(InlineAction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(storage_, other.storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      const Ops* ops = ops_;
+      // Null first: the callable's destructor may re-enter the owner (an
+      // action that schedules from its destructor), and must not observe a
+      // half-dead wrapper.
+      ops_ = nullptr;
+      ops->destroy(storage_);
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace asyncdr::sim

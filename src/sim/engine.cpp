@@ -1,5 +1,8 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "common/check.hpp"
 
 namespace asyncdr::sim {
@@ -11,17 +14,66 @@ void Engine::schedule_in(Time delay, Action action) {
 
 void Engine::schedule_at(Time t, Action action) {
   ASYNCDR_EXPECTS(t >= now_);
-  ASYNCDR_EXPECTS(action != nullptr);
-  queue_.push(Event{t, next_seq_++, std::move(action)});
+  ASYNCDR_EXPECTS(static_cast<bool>(action));
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    pool_[slot] = std::move(action);
+  } else {
+    ASYNCDR_EXPECTS_MSG(
+        pool_.size() < std::numeric_limits<std::uint32_t>::max(),
+        "event pool exhausted 32-bit slot indices");
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.push_back(std::move(action));
+  }
+  heap_.push_back(HeapNode{t, next_seq_++, slot});
+  sift_up(heap_.size() - 1);
+}
+
+void Engine::sift_up(std::size_t i) {
+  const HeapNode node = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(node, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = node;
+}
+
+void Engine::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const HeapNode node = heap_[i];
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], node)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = node;
 }
 
 bool Engine::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; the action must be moved out before pop.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.t;
-  ev.action();
+  if (heap_.empty()) return false;
+  const HeapNode top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+
+  // Move the action out and retire its slot *before* invoking: the action
+  // (or its destructor, on return) may re-enter schedule_at, and must find
+  // the heap, the pool, and the free list in a consistent state.
+  Action action = std::move(pool_[top.slot]);
+  free_slots_.push_back(top.slot);
+  now_ = top.t;
+  action();
   return true;
 }
 
@@ -31,7 +83,7 @@ Engine::RunResult Engine::run(std::size_t max_events) {
     if (!step()) return result;
     ++result.events_processed;
   }
-  result.budget_exhausted = !queue_.empty();
+  result.budget_exhausted = !heap_.empty();
   return result;
 }
 

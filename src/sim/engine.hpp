@@ -2,13 +2,22 @@
 // sequence) order, so two runs with identical inputs produce identical
 // executions — the property every test and lower-bound construction relies
 // on.
+//
+// Layout (sized for runs with tens of millions of events): the priority
+// queue is an owned 4-ary heap of 24-byte (time, seq, slot) nodes — shallow
+// and cache-friendly to sift, and nothing but PODs move during heap
+// maintenance. Actions live in a pooled slot array off to the side
+// (free-list recycled), stored as small-buffer-optimized InlineActions, so
+// scheduling an event performs no per-event heap allocation for any closure
+// up to InlineAction::kInlineBytes. step() moves the action out of its slot
+// and releases the slot *before* invoking, so actions may freely re-enter
+// schedule_at / schedule_in — even from their destructors.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/action.hpp"
 #include "sim/types.hpp"
 
 namespace asyncdr::sim {
@@ -16,7 +25,7 @@ namespace asyncdr::sim {
 /// Event-driven virtual-time executor.
 class Engine {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineAction;
 
   /// Result of a run() call.
   struct RunResult {
@@ -40,27 +49,35 @@ class Engine {
   /// Runs until the queue drains or `max_events` have been processed.
   RunResult run(std::size_t max_events = kDefaultEventBudget);
 
-  [[nodiscard]] bool idle() const { return queue_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] bool idle() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
 
   static constexpr std::size_t kDefaultEventBudget = 50'000'000;
 
  private:
-  struct Event {
+  /// Heap node: ordering key plus the index of the action's pool slot.
+  /// Slots are 32-bit — the pool never exceeds the peak number of
+  /// *concurrently pending* events, and four billion pending events would
+  /// exhaust memory long before the index.
+  struct HeapNode {
     Time t;
     std::uint64_t seq;
-    Action action;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
+
+  /// Strict (time, seq) min order.
+  [[nodiscard]] static bool earlier(const HeapNode& a, const HeapNode& b) {
+    return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<HeapNode> heap_;        ///< 4-ary min-heap over (t, seq)
+  std::vector<Action> pool_;          ///< action per slot, indexed by HeapNode::slot
+  std::vector<std::uint32_t> free_slots_;  ///< recycled pool slots
 };
 
 }  // namespace asyncdr::sim

@@ -1,6 +1,7 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "common/check.hpp"
 
@@ -26,15 +27,30 @@ Network::Network(Engine& engine, std::size_t k, std::size_t message_size_bits)
       message_size_bits_(message_size_bits),
       receivers_(k, nullptr),
       crashed_(k, false),
-      links_(k * k),
+      sparse_links_(k),
       sent_units_(k, 0),
       sent_payloads_(k, 0),
-      in_flight_(k * k, 0),
       last_send_at_(k, -1.0),
       last_delivery_at_(k, -1.0),
       latency_(std::make_unique<FixedLatency>(1.0)) {
   ASYNCDR_EXPECTS(k >= 2);
   ASYNCDR_EXPECTS(message_size_bits >= 1);
+}
+
+void Network::set_link_mode(LinkMode mode) {
+  ASYNCDR_EXPECTS_MSG(next_message_id_ == 0 && total_in_flight_ == 0,
+                      "link mode must be chosen before any traffic");
+  if (mode == mode_) return;
+  mode_ = mode;
+  if (mode == LinkMode::kDense) {
+    sparse_links_.clear();
+    sparse_links_.shrink_to_fit();
+    dense_links_.assign(k_ * k_, Link{});
+  } else {
+    dense_links_.clear();
+    dense_links_.shrink_to_fit();
+    sparse_links_.resize(k_);
+  }
 }
 
 void Network::attach(PeerId id, Receiver* receiver) {
@@ -63,34 +79,57 @@ std::size_t Network::unit_messages(const Payload& payload) const {
   return std::max<std::size_t>(1, (bits + message_size_bits_ - 1) / message_size_bits_);
 }
 
+bool Network::pass_pre_send(const Message& msg) {
+  if (!pre_send_hook_) return true;
+  pre_send_hook_(msg);
+  // The hook may have crashed the sender; the send is then lost, which is
+  // exactly the "crashed mid-operation" semantics of the paper's model. A
+  // message that was never sent consumes no id and reaches no observer —
+  // otherwise the causal DAG would see link edges for phantom sends.
+  return !crashed_[msg.from];
+}
+
+void Network::account_send(const Message& msg, std::size_t units) {
+  sent_units_[msg.from] += units;
+  sent_payloads_[msg.from] += 1;
+  last_send_at_[msg.from] = engine_.now();
+  if (observer_) observer_->on_send(msg, units);
+}
+
+Time Network::reserve_link(const Message& msg, std::size_t units) {
+  // Link serialization: one unit message per directed link per time unit.
+  Link& l = link(msg.from, msg.to);
+  const Time departure = std::max(engine_.now(), l.next_free);
+  l.next_free = departure + static_cast<Time>(units);
+  const Time transmission = static_cast<Time>(units - 1);
+  return departure + transmission + latency_->propagation(msg);
+}
+
+void Network::deliver_or_drop(const Message& msg) {
+  --link(msg.from, msg.to).in_flight;
+  --total_in_flight_;
+  if (crashed_[msg.to] || receivers_[msg.to] == nullptr) {
+    if (observer_) observer_->on_drop(msg);
+    return;
+  }
+  ++total_deliveries_;
+  last_delivery_at_[msg.to] = engine_.now();
+  if (observer_) observer_->on_deliver(msg);
+  receivers_[msg.to]->deliver(msg);
+}
+
 void Network::send(PeerId from, PeerId to, PayloadPtr payload) {
   ASYNCDR_EXPECTS(from < k_ && to < k_);
   ASYNCDR_EXPECTS(payload != nullptr);
   if (crashed_[from]) return;
 
-  Message msg{from, to, std::move(payload), engine_.now(), next_message_id_++};
-  if (pre_send_hook_) {
-    pre_send_hook_(msg);
-    // The hook may have crashed the sender; the send is then lost, which is
-    // exactly the "crashed mid-operation" semantics of the paper's model.
-    if (crashed_[from]) {
-      if (observer_) observer_->on_drop(msg);
-      return;
-    }
-  }
+  Message msg{from, to, std::move(payload), engine_.now(), next_message_id_};
+  if (!pass_pre_send(msg)) return;
+  ++next_message_id_;
 
   const std::size_t units = unit_messages(*msg.payload);
-  sent_units_[from] += units;
-  sent_payloads_[from] += 1;
-  last_send_at_[from] = engine_.now();
-  if (observer_) observer_->on_send(msg, units);
-
-  // Link serialization: one unit message per directed link per time unit.
-  LinkState& l = link(from, to);
-  const Time departure = std::max(engine_.now(), l.next_free);
-  l.next_free = departure + static_cast<Time>(units);
-  const Time transmission = static_cast<Time>(units - 1);
-  const Time arrival = departure + transmission + latency_->propagation(msg);
+  account_send(msg, units);
+  const Time arrival = reserve_link(msg, units);
 
   // A beyond-model stressor may replicate the delivery and/or hold copies
   // past the scheduled arrival. In-model runs take the single-copy path.
@@ -103,27 +142,78 @@ void Network::send(PeerId from, PeerId to, PayloadPtr payload) {
       ASYNCDR_EXPECTS_MSG(extra >= 0, "stressor extra delay must be >= 0");
       at += extra;
     }
-    ++in_flight_[from * k_ + to];
-    engine_.schedule_at(at, [this, msg]() {
-      --in_flight_[msg.from * k_ + msg.to];
-      if (crashed_[msg.to] || receivers_[msg.to] == nullptr) {
-        if (observer_) observer_->on_drop(msg);
-        return;
-      }
-      ++total_deliveries_;
-      last_delivery_at_[msg.to] = engine_.now();
-      if (observer_) observer_->on_deliver(msg);
-      receivers_[msg.to]->deliver(msg);
-    });
+    ++link(from, msg.to).in_flight;
+    ++total_in_flight_;
+    engine_.schedule_at(at, [this, msg]() { deliver_or_drop(msg); });
   }
 }
 
 void Network::broadcast(PeerId from, PayloadPtr payload) {
   ASYNCDR_EXPECTS(from < k_);
+  ASYNCDR_EXPECTS(payload != nullptr);
+  if (mode_ == LinkMode::kDense) {
+    // Legacy fan-out: one send (and one scheduled event per copy) per
+    // recipient — the A/B reference path.
+    for (PeerId to = 0; to < k_; ++to) {
+      if (to == from) continue;
+      if (crashed_[from]) return;  // died mid-broadcast
+      send(from, to, payload);
+    }
+    return;
+  }
+
+  if (crashed_[from]) return;
+  const Time sent_at = engine_.now();
+  const std::size_t units = unit_messages(*payload);
+
+  // Bucket the fan-out by arrival time: recipients (and stressor copies)
+  // landing at the same instant share ONE scheduled event that delivers to
+  // each in turn, interning the shared payload once. Per-recipient
+  // semantics are unchanged — the pre-send hook, accounting, link
+  // reservation, and stressor sampling all run per recipient in increasing
+  // ID order, exactly as the dense fan-out does — so traces are
+  // byte-identical; only the engine's event count shrinks.
+  struct Entry {
+    PeerId to;
+    std::uint64_t id;
+  };
+  std::map<Time, std::vector<Entry>> buckets;
+
   for (PeerId to = 0; to < k_; ++to) {
     if (to == from) continue;
-    if (crashed_[from]) return;  // died mid-broadcast
-    send(from, to, payload);
+    // pass_pre_send returning false means the hook crashed the sender:
+    // the remaining recipients never get their sends (died mid-broadcast),
+    // but already-buffered deliveries below still go out.
+    Message msg{from, to, payload, sent_at, next_message_id_};
+    if (!pass_pre_send(msg)) break;
+    ++next_message_id_;
+    account_send(msg, units);
+    const Time arrival = reserve_link(msg, units);
+    const std::size_t copies =
+        stressor_ ? std::max<std::size_t>(1, stressor_->copies(msg)) : 1;
+    for (std::size_t copy = 0; copy < copies; ++copy) {
+      Time at = arrival;
+      if (stressor_) {
+        const Time extra = stressor_->extra_delay(msg, copy);
+        ASYNCDR_EXPECTS_MSG(extra >= 0, "stressor extra delay must be >= 0");
+        at += extra;
+      }
+      ++link(from, to).in_flight;
+      ++total_in_flight_;
+      buckets[at].push_back(Entry{to, msg.id});
+    }
+  }
+
+  for (auto& [at, bucket] : buckets) {
+    engine_.schedule_at(
+        at, [this, from, payload, sent_at, entries = std::move(bucket)]() {
+          // Crash state is re-checked per entry at delivery time (an earlier
+          // entry's receiver may crash a later entry's), matching the
+          // per-event dense path.
+          for (const Entry& e : entries) {
+            deliver_or_drop(Message{from, e.to, payload, sent_at, e.id});
+          }
+        });
   }
 }
 
@@ -152,15 +242,48 @@ std::uint64_t Network::sent_payloads(PeerId id) const {
   return sent_payloads_[id];
 }
 
-std::uint32_t Network::in_flight(PeerId from, PeerId to) const {
+std::uint64_t Network::in_flight(PeerId from, PeerId to) const {
   ASYNCDR_EXPECTS(from < k_ && to < k_);
-  return in_flight_[from * k_ + to];
+  if (mode_ == LinkMode::kDense) return dense_links_[from * k_ + to].in_flight;
+  const auto& per_sender = sparse_links_[from];
+  const auto it = per_sender.find(to);
+  return it == per_sender.end() ? 0 : it->second.in_flight;
 }
 
-std::uint64_t Network::total_in_flight() const {
-  std::uint64_t total = 0;
-  for (const std::uint32_t f : in_flight_) total += f;
+std::size_t Network::active_links() const {
+  if (mode_ == LinkMode::kDense) {
+    // A used link always has next_free > 0 (reservation adds >= 1 unit).
+    return static_cast<std::size_t>(std::count_if(
+        dense_links_.begin(), dense_links_.end(),
+        [](const Link& l) { return l.next_free > 0 || l.in_flight > 0; }));
+  }
+  std::size_t total = 0;
+  for (const auto& per_sender : sparse_links_) total += per_sender.size();
   return total;
+}
+
+std::vector<Network::BusyLink> Network::busy_links() const {
+  std::vector<BusyLink> busy;
+  if (mode_ == LinkMode::kDense) {
+    for (PeerId from = 0; from < k_; ++from) {
+      for (PeerId to = 0; to < k_; ++to) {
+        const std::uint64_t inflight = dense_links_[from * k_ + to].in_flight;
+        if (inflight > 0) busy.push_back({from, to, inflight});
+      }
+    }
+    return busy;
+  }
+  for (PeerId from = 0; from < k_; ++from) {
+    for (const auto& [to, l] : sparse_links_[from]) {
+      if (l.in_flight > 0) busy.push_back({from, to, l.in_flight});
+    }
+  }
+  // Map iteration order is unspecified; sort for the deterministic
+  // (from, to) order the dense scan produces.
+  std::sort(busy.begin(), busy.end(), [](const BusyLink& a, const BusyLink& b) {
+    return a.from != b.from ? a.from < b.from : a.to < b.to;
+  });
+  return busy;
 }
 
 Time Network::last_send_at(PeerId id) const {
@@ -173,8 +296,9 @@ Time Network::last_delivery_at(PeerId id) const {
   return last_delivery_at_[id];
 }
 
-Network::LinkState& Network::link(PeerId from, PeerId to) {
-  return links_[from * k_ + to];
+Network::Link& Network::link(PeerId from, PeerId to) {
+  if (mode_ == LinkMode::kDense) return dense_links_[from * k_ + to];
+  return sparse_links_[from][to];
 }
 
 }  // namespace asyncdr::sim

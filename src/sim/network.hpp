@@ -8,11 +8,21 @@
 // ceil(s / B) units; a directed link carries one unit per time unit, so
 // units serialize per link. This is what gives transfers of n bits their
 // n/B contribution to time complexity, matching the paper's accounting.
+//
+// Scaling (see DESIGN.md, "Scaling the substrate"): link state defaults to
+// lazily-populated per-sender maps (memory O(k + active links), not the
+// dense k^2 vectors that cap the substrate at small k), and broadcast
+// fan-out is bucketed — recipients sharing an arrival time are delivered by
+// ONE scheduled event that interns the shared payload once, instead of k-1
+// independent closures each capturing a Message copy. The legacy dense
+// layout with per-recipient fan-out is kept behind LinkMode::kDense purely
+// as the A/B reference: both modes produce byte-identical traces.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -48,7 +58,10 @@ class Receiver {
   virtual void deliver(const Message& msg) = 0;
 };
 
-/// Observation hooks for metrics/tracing. All methods optional.
+/// Observation hooks for metrics/tracing. All methods optional. Pairing
+/// invariant: every message id appears in exactly one on_send, followed by
+/// at most one on_deliver or on_drop per scheduled copy — a send the
+/// pre-send hook kills never reaches the network and emits nothing.
 class NetworkObserver {
  public:
   virtual ~NetworkObserver();
@@ -78,6 +91,19 @@ class DeliveryStressor {
 /// The clique network over k peers.
 class Network {
  public:
+  /// Link-state layout + broadcast fan-out strategy. Both modes are
+  /// observationally identical (byte-identical traces and reports on the
+  /// same inputs); they differ in memory and event count only.
+  enum class LinkMode {
+    /// Lazily-populated per-sender link maps, bucketed broadcast fan-out.
+    /// The default: memory O(k + active links), one scheduled event per
+    /// distinct broadcast arrival time.
+    kSparse,
+    /// Legacy k*k link vectors and one event per broadcast recipient. Kept
+    /// as the A/B equivalence reference and for dense-traffic experiments.
+    kDense,
+  };
+
   /// message_size_bits is the paper's B; payloads larger than B are
   /// accounted as multiple unit messages.
   Network(Engine& engine, std::size_t k, std::size_t message_size_bits);
@@ -85,6 +111,11 @@ class Network {
   [[nodiscard]] std::size_t size() const { return k_; }
   [[nodiscard]] std::size_t message_size_bits() const { return message_size_bits_; }
   Engine& engine() { return engine_; }
+
+  /// Switches the link-state layout. Must be called before any traffic
+  /// (the layouts do not migrate in-flight state).
+  void set_link_mode(LinkMode mode);
+  [[nodiscard]] LinkMode link_mode() const { return mode_; }
 
   /// Registers the receiver for a peer ID. Must be called for every peer
   /// before any traffic flows to it.
@@ -114,7 +145,8 @@ class Network {
 
   /// Sends payload from every peer except `from` itself, in increasing
   /// recipient-ID order (deterministic, so a mid-broadcast crash cuts a
-  /// well-defined prefix).
+  /// well-defined prefix). In sparse mode recipients sharing an arrival
+  /// time are delivered by one bucketed event.
   void broadcast(PeerId from, PayloadPtr payload);
 
   /// Marks a peer crashed: it sends and receives nothing from now on.
@@ -134,32 +166,61 @@ class Network {
   // ---- Stall diagnostics (always on; used by dr::World's stall report) ----
 
   /// Messages scheduled but not yet delivered/dropped on the directed link
-  /// from -> to.
-  [[nodiscard]] std::uint32_t in_flight(PeerId from, PeerId to) const;
-  /// Sum of in_flight over all links.
-  [[nodiscard]] std::uint64_t total_in_flight() const;
+  /// from -> to. 64-bit: beyond-model replication stressors multiply copies
+  /// per link far past what a 32-bit counter assumes.
+  [[nodiscard]] std::uint64_t in_flight(PeerId from, PeerId to) const;
+  /// Sum of in_flight over all links. O(1): maintained, not recomputed.
+  [[nodiscard]] std::uint64_t total_in_flight() const { return total_in_flight_; }
+  /// Directed links that have ever carried traffic — the sparse layout's
+  /// actual footprint (compare against k*k for the dense equivalent).
+  [[nodiscard]] std::size_t active_links() const;
+  /// One busy directed link (messages still in flight).
+  struct BusyLink {
+    PeerId from = kNoPeer;
+    PeerId to = kNoPeer;
+    std::uint64_t in_flight = 0;
+  };
+  /// All busy links in (from, to) order — deterministic in both link modes.
+  [[nodiscard]] std::vector<BusyLink> busy_links() const;
   /// Virtual time of the last accepted send by `id`; negative if none.
   [[nodiscard]] Time last_send_at(PeerId id) const;
   /// Virtual time of the last delivery to `id`; negative if none.
   [[nodiscard]] Time last_delivery_at(PeerId id) const;
 
  private:
-  struct LinkState {
+  struct Link {
     Time next_free = 0;
+    std::uint64_t in_flight = 0;
   };
-  LinkState& link(PeerId from, PeerId to);
+
+  Link& link(PeerId from, PeerId to);
+
+  /// Runs the pre-send hook; false iff the hook crashed the sender — the
+  /// send then never happened: no message id consumed, no observer event.
+  bool pass_pre_send(const Message& msg);
+  /// Send-side accounting + on_send (the message is now committed).
+  void account_send(const Message& msg, std::size_t units);
+  /// Reserves link bandwidth and returns the copy-0 arrival time.
+  Time reserve_link(const Message& msg, std::size_t units);
+  /// Delivery-time half: in-flight bookkeeping, crash check, receiver call.
+  void deliver_or_drop(const Message& msg);
 
   Engine& engine_;
   std::size_t k_;
   std::size_t message_size_bits_;
+  LinkMode mode_ = LinkMode::kSparse;
   std::vector<Receiver*> receivers_;
   std::vector<bool> crashed_;
-  std::vector<LinkState> links_;  // k*k directed links
+  /// kDense: k*k directed links. Empty in sparse mode.
+  std::vector<Link> dense_links_;
+  /// kSparse: per-sender maps, populated on a link's first send. Empty in
+  /// dense mode.
+  std::vector<std::unordered_map<PeerId, Link>> sparse_links_;
   std::vector<std::uint64_t> sent_units_;
   std::vector<std::uint64_t> sent_payloads_;
-  std::vector<std::uint32_t> in_flight_;  // k*k directed links
   std::vector<Time> last_send_at_;
   std::vector<Time> last_delivery_at_;
+  std::uint64_t total_in_flight_ = 0;
   std::uint64_t total_deliveries_ = 0;
   std::uint64_t next_message_id_ = 0;
   std::unique_ptr<LatencyPolicy> latency_;

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "common/check.hpp"
@@ -78,6 +80,55 @@ TEST_F(NetFixture, BurstHoldReordersAcrossLaterTraffic) {
   ASSERT_EQ(peers[1].tags.size(), 2u);
   EXPECT_EQ(peers[1].tags[0], 2);
   EXPECT_EQ(peers[1].tags[1], 1);
+}
+
+struct Replicate final : sim::DeliveryStressor {
+  explicit Replicate(std::size_t n) : n_(n) {}
+  std::size_t copies(const sim::Message&) override { return n_; }
+  sim::Time extra_delay(const sim::Message&, std::size_t) override {
+    return 0.0;
+  }
+  std::size_t n_;
+};
+
+// Regression: per-link in-flight counters are 64-bit. A replication
+// stressor multiplies copies per message far past what a 32-bit assumption
+// tolerates in aggregate; the counters must track every scheduled copy up
+// and back down exactly.
+TEST_F(NetFixture, HighCopyCountReplicationKeepsCountersExact) {
+  static_assert(
+      std::is_same_v<decltype(net.in_flight(0, 1)), std::uint64_t>,
+      "in-flight counters must be 64-bit for replication stressors");
+  static_assert(std::is_same_v<decltype(net.total_in_flight()), std::uint64_t>,
+                "total in-flight must be 64-bit");
+  constexpr std::size_t kCopies = 1u << 17;  // 131072 copies of one send
+  net.set_delivery_stressor(std::make_unique<Replicate>(kCopies));
+  net.send(0, 1, std::make_shared<TestPayload>(9));
+  EXPECT_EQ(net.in_flight(0, 1), kCopies);
+  EXPECT_EQ(net.total_in_flight(), kCopies);
+  // The sender is still charged once: copies are the adversary's forgeries.
+  EXPECT_EQ(net.sent_units(0), 1u);
+  engine.run();
+  EXPECT_EQ(peers[1].tags.size(), kCopies);
+  EXPECT_EQ(net.total_deliveries(), kCopies);
+  EXPECT_EQ(net.in_flight(0, 1), 0u);
+  EXPECT_EQ(net.total_in_flight(), 0u);
+}
+
+// Same stressor through the bucketed broadcast path: all same-arrival
+// copies across all recipients ride one scheduled event per bucket, and the
+// counters still reconcile.
+TEST_F(NetFixture, HighCopyCountReplicationThroughBroadcastBuckets) {
+  constexpr std::size_t kCopies = 4096;
+  net.set_delivery_stressor(std::make_unique<Replicate>(kCopies));
+  net.broadcast(0, std::make_shared<TestPayload>(5));
+  EXPECT_EQ(net.total_in_flight(), 2 * kCopies);  // two recipients
+  // Zero extra delay: every copy shares one arrival time -> one bucket.
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run();
+  EXPECT_EQ(peers[1].tags.size(), kCopies);
+  EXPECT_EQ(peers[2].tags.size(), kCopies);
+  EXPECT_EQ(net.total_in_flight(), 0u);
 }
 
 TEST(ChaosStressorKnobs, RejectsInvalidProbabilities) {

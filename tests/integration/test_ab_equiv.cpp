@@ -1,0 +1,170 @@
+// Golden A/B equivalence: the sparse link layout with bucketed broadcast
+// fan-out (LinkMode::kSparse, the default) must be observationally
+// IDENTICAL to the legacy dense layout (kDense) — byte-identical traces and
+// run reports on the same seeded inputs, across all six protocols and the
+// network paths that differ between the modes (mid-broadcast hook crashes,
+// delivery stressors, same-arrival buckets). The one legitimate difference
+// is RunReport::events: bucketing shrinks the engine event count — that IS
+// the optimization — so the comparison normalizes that single field.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "adversary/crash_plan.hpp"
+#include "chaos/stressors.hpp"
+#include "common/rng.hpp"
+#include "dr/world.hpp"
+#include "protocols/runner.hpp"
+#include "sim/network.hpp"
+#include "sim/trace.hpp"
+
+namespace asyncdr {
+namespace {
+
+struct Capture {
+  std::string trace_text;
+  std::string report_text;
+  bool ok = false;
+};
+
+Capture run_mode(proto::Scenario s, sim::Network::LinkMode mode) {
+  Capture cap;
+  auto inner = std::move(s.instrument);
+  s.instrument = [mode, inner = std::move(inner)](dr::World& world) {
+    world.network().set_link_mode(mode);
+    world.enable_trace();
+    if (inner) inner(world);
+  };
+  s.post_run = [&cap](dr::World& world, const dr::RunReport& report) {
+    const sim::Trace* trace = world.trace();
+    ASSERT_NE(trace, nullptr);
+    ASSERT_EQ(trace->dropped_events(), 0u);  // a truncated trace proves nothing
+    std::string text;
+    for (const sim::TraceEvent& ev : trace->events()) {
+      text += ev.to_string();
+      text += '\n';
+    }
+    cap.trace_text = std::move(text);
+    dr::RunReport normalized = report;
+    normalized.events = 0;  // the only field the modes may legitimately differ in
+    cap.report_text = normalized.to_string();
+    cap.ok = report.ok();
+  };
+  proto::run_scenario(s);
+  return cap;
+}
+
+/// First differing line between two renderings, for a readable failure.
+std::string first_diff(const std::string& a, const std::string& b) {
+  std::istringstream sa(a), sb(b);
+  std::string la, lb;
+  std::size_t line = 0;
+  while (true) {
+    const bool ga = static_cast<bool>(std::getline(sa, la));
+    const bool gb = static_cast<bool>(std::getline(sb, lb));
+    ++line;
+    if (!ga && !gb) return "(no difference found)";
+    if (la != lb || ga != gb) {
+      std::ostringstream os;
+      os << "first difference at line " << line << ":\n  sparse: "
+         << (ga ? la : "<end of trace>") << "\n  dense:  "
+         << (gb ? lb : "<end of trace>");
+      return os.str();
+    }
+  }
+}
+
+void expect_ab_identical(const char* what, const proto::Scenario& s) {
+  const Capture sparse = run_mode(s, sim::Network::LinkMode::kSparse);
+  const Capture dense = run_mode(s, sim::Network::LinkMode::kDense);
+  ASSERT_FALSE(sparse.trace_text.empty()) << what;
+  EXPECT_TRUE(sparse.ok) << what;
+  EXPECT_EQ(sparse.ok, dense.ok) << what;
+  EXPECT_TRUE(sparse.trace_text == dense.trace_text)
+      << what << ": " << first_diff(sparse.trace_text, dense.trace_text);
+  EXPECT_TRUE(sparse.report_text == dense.report_text)
+      << what << ": " << first_diff(sparse.report_text, dense.report_text);
+}
+
+dr::Config small_cfg(std::size_t n, std::size_t k, double beta,
+                     std::uint64_t seed, std::size_t message_bits = 256) {
+  return dr::Config{
+      .n = n, .k = k, .beta = beta, .message_bits = message_bits, .seed = seed};
+}
+
+// The randomized-committee protocols need k large enough that RandParams
+// does not fall back to naive (see test_byz2cycle); everything else runs at
+// genuinely small k so the suite stays fast.
+dr::Config rand_cfg(std::uint64_t seed) {
+  return small_cfg(1 << 12, 128, 0.125, seed, /*message_bits=*/1024);
+}
+
+TEST(AbEquivalence, NaiveFaultFree) {
+  proto::Scenario s;
+  s.cfg = small_cfg(256, 4, 0.0, 101, 128);
+  s.honest = proto::make_naive();
+  expect_ab_identical("naive", s);
+}
+
+TEST(AbEquivalence, CrashOneFixedLatencyBucketsMultipleRecipients) {
+  // FixedLatency collapses every broadcast's arrivals onto one instant:
+  // maximal bucket occupancy, the sparse path's most aggressive batching.
+  proto::Scenario s;
+  s.cfg = small_cfg(512, 8, 0.125, 102);
+  s.honest = proto::make_crash_one();
+  s.latency = proto::fixed_latency(1.0);
+  s.crashes.add_at_time(3, 0.7);
+  expect_ab_identical("crash_one", s);
+}
+
+TEST(AbEquivalence, CrashMultiWithMidBroadcastHookCrash) {
+  // add_after_sends drives the pre-send hook: the sender dies between the
+  // individual sends of a broadcast, cutting a prefix. Both modes must cut
+  // the SAME prefix and burn the same message ids.
+  proto::Scenario s;
+  s.cfg = small_cfg(1024, 6, 0.34, 103);
+  s.honest = proto::make_crash_multi();
+  s.crashes.add_after_sends(1, 3);
+  s.crashes.add_at_time(4, 1.3);
+  expect_ab_identical("crash_multi", s);
+}
+
+TEST(AbEquivalence, CommitteeUnderLiarsAndDeliveryStressor) {
+  // The stressor samples its RNG per recipient (copies, then extra delay per
+  // copy): the bucketed broadcast must consume the stream in exactly the
+  // dense per-recipient order or every later delay diverges.
+  proto::Scenario s;
+  s.cfg = small_cfg(256, 8, 0.25, 104, 1024);
+  s.honest = proto::make_committee();
+  s.byzantine =
+      proto::make_committee_liar(proto::CommitteeLiarPeer::Mode::kFlipAll);
+  s.byz_ids = proto::pick_faulty(s.cfg, s.cfg.max_faulty(), 104);
+  s.latency = proto::fixed_latency(0.5);
+  s.stressor = chaos::make_chaos_stressor(
+      {.duplicate_prob = 0.4, .burst_prob = 0.3, .hold_max = 2.0});
+  expect_ab_identical("committee", s);
+}
+
+TEST(AbEquivalence, TwoCycleUnderVoteStuffing) {
+  proto::Scenario s;
+  s.cfg = rand_cfg(105);
+  s.honest = proto::make_two_cycle(2.0);
+  s.byzantine = proto::make_vote_stuffer(2.0, /*target_segment=*/0);
+  s.byz_ids = proto::pick_faulty(s.cfg, s.cfg.max_faulty(), 105);
+  expect_ab_identical("two_cycle", s);
+}
+
+TEST(AbEquivalence, MultiCycleUnderSilentByzantine) {
+  proto::Scenario s;
+  s.cfg = rand_cfg(106);
+  s.honest = proto::make_multi_cycle(2.0);
+  s.byzantine = proto::make_silent_byz();
+  s.byz_ids = proto::pick_faulty(s.cfg, s.cfg.max_faulty(), 106);
+  expect_ab_identical("multi_cycle", s);
+}
+
+}  // namespace
+}  // namespace asyncdr

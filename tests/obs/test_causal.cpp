@@ -66,6 +66,52 @@ TEST(CausalGraph, DeliveriesAndDropsParentTheirSendViaMessageId) {
   EXPECT_EQ(link_edges, 2u);  // one delivery + one drop
 }
 
+// Regression: a send killed by the pre-send hook used to surface as an
+// on_drop with no matching on_send, leaving a kDrop node whose parent fell
+// back to program order — a phantom edge in the DAG. A killed send must now
+// be invisible: every kDeliver/kDrop in the trace has a kLink parent to a
+// real kSend carrying the same message id.
+TEST(CausalGraph, HookCrashedSendsLeaveNoPhantomLinkEdges) {
+  sim::Engine engine;
+  sim::Network net(engine, 4, 64);
+  sim::Trace trace(engine);
+  net.set_observer(&trace);
+  struct Sink final : sim::Receiver {
+    void deliver(const sim::Message&) override {}
+  } sink;
+  for (sim::PeerId i = 0; i < 4; ++i) net.attach(i, &sink);
+  // Peer 0 dies mid-broadcast (hook fires before its third send commits);
+  // peer 1 keeps sending afterwards so ids must stay gap-free.
+  int allowed = 2;
+  net.set_pre_send_hook([&](const sim::Message& msg) {
+    if (msg.from == 0 && allowed-- == 0) net.crash(0);
+  });
+  net.broadcast(0, std::make_shared<Ping>());
+  net.send(1, 2, std::make_shared<Ping>());
+  engine.schedule_at(0.5, [&] { net.crash(2); });  // forces a real drop too
+  engine.run();
+
+  const CausalGraph graph = build_causal_graph(trace);
+  const auto& events = trace.events();
+  std::size_t sends = 0, settled = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    if (ev.kind == Kind::kSend) ++sends;
+    if (ev.kind != Kind::kDeliver && ev.kind != Kind::kDrop) continue;
+    ++settled;
+    const std::ptrdiff_t parent = graph.nodes[i].parent;
+    ASSERT_GE(parent, 0) << ev.to_string();
+    const TraceEvent& src = events[static_cast<std::size_t>(parent)];
+    EXPECT_EQ(src.kind, Kind::kSend) << ev.to_string();
+    EXPECT_EQ(src.msg_id, ev.msg_id) << ev.to_string();
+    EXPECT_EQ(graph.nodes[i].edge, CausalEdge::kLink) << ev.to_string();
+  }
+  // Broadcast committed 2 sends before the crash, plus peer 1's send; the
+  // killed third broadcast send appears nowhere.
+  EXPECT_EQ(sends, 3u);
+  EXPECT_EQ(settled, 3u);
+}
+
 TEST(CausalGraph, SameInstantSendsChainInProgramOrder) {
   sim::Engine engine;
   sim::Network net(engine, 2, 64);

@@ -1,0 +1,133 @@
+// InlineAction: the engine's small-buffer-optimized move-only callable.
+// These tests pin the storage contract — small captures stay inline, large
+// ones take exactly one heap cell, and every callable is destroyed exactly
+// once no matter how it moves through pools and locals.
+#include "sim/action.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace asyncdr::sim {
+namespace {
+
+TEST(InlineAction, DefaultAndNullptrAreEmpty) {
+  InlineAction empty;
+  EXPECT_FALSE(static_cast<bool>(empty));
+  InlineAction null = nullptr;
+  EXPECT_FALSE(static_cast<bool>(null));
+}
+
+TEST(InlineAction, InvokesSmallCapture) {
+  int hits = 0;
+  InlineAction a = [&hits] { ++hits; };
+  ASSERT_TRUE(static_cast<bool>(a));
+  a();
+  a();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineAction, InvokesLargeCaptureViaHeapFallback) {
+  std::array<char, 2 * InlineAction::kInlineBytes> big{};
+  big[0] = 42;
+  int got = 0;
+  InlineAction a = [big, &got] { got = big[0]; };
+  a();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(InlineAction, MoveTransfersAndEmptiesSource) {
+  int hits = 0;
+  InlineAction a = [&hits] { ++hits; };
+  InlineAction b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  InlineAction c;
+  c = std::move(b);
+  ASSERT_TRUE(static_cast<bool>(c));
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineAction, AcceptsStdFunctionLvalue) {
+  int hits = 0;
+  std::function<void()> f = [&hits] { ++hits; };
+  InlineAction a = f;  // copies the std::function into the action
+  a();
+  EXPECT_EQ(hits, 1);
+  f();  // the original is untouched
+  EXPECT_EQ(hits, 2);
+}
+
+struct InstanceCounter {
+  static int live;
+  static int destroyed;
+  InstanceCounter() { ++live; }
+  InstanceCounter(const InstanceCounter&) { ++live; }
+  InstanceCounter(InstanceCounter&&) noexcept { ++live; }
+  ~InstanceCounter() {
+    --live;
+    ++destroyed;
+  }
+  void operator()() const {}
+  // Pad past the inline buffer so the heap path is exercised too.
+  std::array<char, InlineAction::kInlineBytes> pad{};
+};
+int InstanceCounter::live = 0;
+int InstanceCounter::destroyed = 0;
+
+TEST(InlineAction, HeapCallableDestroyedExactlyOnceAcrossMoves) {
+  InstanceCounter::live = 0;
+  InstanceCounter::destroyed = 0;
+  {
+    InlineAction a = InstanceCounter{};
+    InlineAction b = std::move(a);
+    InlineAction c;
+    c = std::move(b);
+    c();
+    EXPECT_EQ(InstanceCounter::live, 1);
+  }
+  EXPECT_EQ(InstanceCounter::live, 0);
+}
+
+struct SmallCounter {
+  static int live;
+  SmallCounter() { ++live; }
+  SmallCounter(const SmallCounter&) { ++live; }
+  SmallCounter(SmallCounter&&) noexcept { ++live; }
+  ~SmallCounter() { --live; }
+  void operator()() const {}
+};
+int SmallCounter::live = 0;
+
+TEST(InlineAction, InlineCallableDestroyedExactlyOnceAcrossMoves) {
+  SmallCounter::live = 0;
+  {
+    std::vector<InlineAction> pool;
+    pool.emplace_back(SmallCounter{});
+    pool.emplace_back(SmallCounter{});
+    // Vector growth relocates the actions through their move ops.
+    for (int i = 0; i < 20; ++i) pool.emplace_back([] {});
+    pool[0]();
+    EXPECT_EQ(SmallCounter::live, 2);
+  }
+  EXPECT_EQ(SmallCounter::live, 0);
+}
+
+TEST(InlineAction, MoveAssignDestroysPreviousCallable) {
+  SmallCounter::live = 0;
+  InlineAction a = SmallCounter{};
+  EXPECT_EQ(SmallCounter::live, 1);
+  a = InlineAction([] {});
+  EXPECT_EQ(SmallCounter::live, 0);
+  a();
+}
+
+}  // namespace
+}  // namespace asyncdr::sim

@@ -93,5 +93,87 @@ TEST(Engine, PendingCount) {
   EXPECT_EQ(e.pending(), 1u);
 }
 
+// Regression for the pooled-event engine: an action whose DESTRUCTOR
+// re-enters schedule_at while step() is still unwinding must find the heap,
+// pool, and free list consistent. (The old priority_queue implementation
+// moved events out of top() via const_cast, where this pattern was
+// formally undefined.)
+TEST(Engine, ActionDestructorMayRescheduleDuringStep) {
+  Engine e;
+  bool late_fired = false;
+
+  struct DtorScheduler {
+    Engine* engine;
+    bool* flag;
+    bool invoked = false;
+    bool armed = true;
+    DtorScheduler(Engine* eng, bool* f) : engine(eng), flag(f) {}
+    DtorScheduler(DtorScheduler&& o) noexcept
+        : engine(o.engine), flag(o.flag), invoked(o.invoked), armed(o.armed) {
+      o.armed = false;  // only the final resting instance fires on death
+    }
+    DtorScheduler& operator=(DtorScheduler&&) = delete;
+    DtorScheduler(const DtorScheduler&) = delete;
+    ~DtorScheduler() {
+      if (armed && invoked) {
+        engine->schedule_in(0.5, [f = flag] { *f = true; });
+      }
+    }
+    void operator()() { invoked = true; }
+  };
+
+  e.schedule_at(1.0, DtorScheduler{&e, &late_fired});
+  const auto result = e.run();
+  EXPECT_TRUE(late_fired);
+  EXPECT_DOUBLE_EQ(e.now(), 1.5);
+  EXPECT_EQ(result.events_processed, 2u);
+}
+
+TEST(Engine, LargeCapturesPreserveOrderViaHeapFallback) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    // Padding pushes the closure past the inline buffer; ordering must not
+    // depend on which storage path a callable took.
+    std::array<char, 160> pad{};
+    pad[0] = static_cast<char>(i);
+    e.schedule_at(1.0, [&order, pad] { order.push_back(pad[0]); });
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+// The 4-ary heap against a reference sort: scrambled times with duplicates,
+// plus a second wave scheduled mid-run so pool slots get recycled while the
+// heap is live.
+TEST(Engine, HeapOrdersScrambledTimesWithRecycledSlots) {
+  Engine e;
+  std::vector<std::pair<double, int>> fired;
+  const double times[] = {5, 1, 3, 1, 4, 2, 5, 0, 2, 3, 1, 4};
+  int tag = 0;
+  for (double t : times) {
+    e.schedule_at(t, [&fired, &e, t, tag] {
+      fired.emplace_back(t, tag);
+      if (t < 2.0) {
+        // Second wave: reuses slots freed by already-fired events.
+        e.schedule_at(t + 10.0, [&fired, t, tag] {
+          fired.emplace_back(t + 10.0, tag);
+        });
+      }
+    });
+    ++tag;
+  }
+  e.run();
+  ASSERT_EQ(fired.size(), 12u + 4u);  // 4 first-wave times are < 2.0
+  // (time, insertion order) must be non-decreasing lexicographically within
+  // each wave; across the whole log times are non-decreasing.
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1].first, fired[i].first);
+    if (fired[i - 1].first == fired[i].first) {
+      EXPECT_LT(fired[i - 1].second, fired[i].second);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace asyncdr::sim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "common/check.hpp"
@@ -147,6 +149,124 @@ TEST_F(Fixture, CrashedCount) {
   EXPECT_EQ(net.crashed_count(), 2u);
   EXPECT_TRUE(net.is_crashed(1));
   EXPECT_FALSE(net.is_crashed(0));
+}
+
+struct PairingObserver final : NetworkObserver {
+  void on_send(const Message& msg, std::size_t) override {
+    sent_ids.push_back(msg.id);
+  }
+  void on_deliver(const Message& msg) override { settled_ids.push_back(msg.id); }
+  void on_drop(const Message& msg) override { settled_ids.push_back(msg.id); }
+  std::vector<std::uint64_t> sent_ids;
+  std::vector<std::uint64_t> settled_ids;
+};
+
+// Regression: a send the pre-send hook kills used to emit on_drop with no
+// prior on_send AND burn a message id, leaving phantom nodes in the causal
+// DAG. A killed send must now be invisible: no id consumed, no observer
+// event of either kind.
+TEST_F(Fixture, HookCrashedSendConsumesNoIdAndEmitsNothing) {
+  PairingObserver obs;
+  net.set_observer(&obs);
+  net.set_pre_send_hook([&](const Message& msg) {
+    if (msg.from == 0) net.crash(0);
+  });
+  net.send(0, 1, std::make_shared<TestPayload>());  // killed by the hook
+  net.send(2, 3, std::make_shared<TestPayload>());  // goes through
+  engine.run();
+  ASSERT_EQ(obs.sent_ids.size(), 1u);
+  EXPECT_EQ(obs.sent_ids[0], 0u);  // the killed send did not burn id 0
+  EXPECT_EQ(obs.settled_ids, obs.sent_ids);
+  EXPECT_TRUE(peers[1].received.empty());
+  ASSERT_EQ(peers[3].received.size(), 1u);
+  EXPECT_EQ(peers[3].received[0].id, 0u);
+}
+
+TEST_F(Fixture, MidBroadcastHookCrashKeepsIdsConsecutive) {
+  PairingObserver obs;
+  net.set_observer(&obs);
+  int allowed = 2;
+  net.set_pre_send_hook([&](const Message& msg) {
+    if (msg.from == 0 && allowed-- == 0) net.crash(0);
+  });
+  net.broadcast(0, std::make_shared<TestPayload>());
+  net.send(1, 2, std::make_shared<TestPayload>());
+  engine.run();
+  // Broadcast committed sends to peers 1 and 2 (ids 0, 1); the killed third
+  // send left no gap, so peer 1's follow-up send took id 2.
+  EXPECT_EQ(obs.sent_ids, (std::vector<std::uint64_t>{0, 1, 2}));
+  std::vector<std::uint64_t> settled = obs.settled_ids;
+  std::sort(settled.begin(), settled.end());
+  EXPECT_EQ(settled, obs.sent_ids);
+}
+
+TEST_F(Fixture, SparseBroadcastBucketsSameArrivalIntoOneEvent) {
+  ASSERT_EQ(net.link_mode(), Network::LinkMode::kSparse);
+  net.set_latency_policy(std::make_unique<FixedLatency>(0.5));
+  net.broadcast(0, std::make_shared<TestPayload>());
+  // All three recipients share arrival time 0.5: one bucketed event.
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run();
+  EXPECT_EQ(peers[1].received.size(), 1u);
+  EXPECT_EQ(peers[2].received.size(), 1u);
+  EXPECT_EQ(peers[3].received.size(), 1u);
+  EXPECT_DOUBLE_EQ(engine.now(), 0.5);
+}
+
+TEST_F(Fixture, DenseModeSchedulesPerRecipient) {
+  net.set_link_mode(Network::LinkMode::kDense);
+  EXPECT_EQ(net.link_mode(), Network::LinkMode::kDense);
+  net.set_latency_policy(std::make_unique<FixedLatency>(0.5));
+  net.broadcast(0, std::make_shared<TestPayload>());
+  EXPECT_EQ(engine.pending(), 3u);  // legacy fan-out: one event per recipient
+  engine.run();
+  EXPECT_EQ(peers[1].received.size(), 1u);
+  EXPECT_EQ(peers[2].received.size(), 1u);
+  EXPECT_EQ(peers[3].received.size(), 1u);
+}
+
+TEST_F(Fixture, LinkModeSwitchRejectedAfterTraffic) {
+  net.send(0, 1, std::make_shared<TestPayload>());
+  EXPECT_THROW(net.set_link_mode(Network::LinkMode::kDense),
+               contract_violation);
+}
+
+TEST_F(Fixture, InFlightAccountingAndBusyLinks) {
+  EXPECT_EQ(net.total_in_flight(), 0u);
+  EXPECT_EQ(net.active_links(), 0u);
+  net.send(0, 1, std::make_shared<TestPayload>());
+  net.send(0, 1, std::make_shared<TestPayload>());
+  net.send(2, 3, std::make_shared<TestPayload>());
+  EXPECT_EQ(net.in_flight(0, 1), 2u);
+  EXPECT_EQ(net.in_flight(2, 3), 1u);
+  EXPECT_EQ(net.in_flight(1, 0), 0u);
+  EXPECT_EQ(net.total_in_flight(), 3u);
+  EXPECT_EQ(net.active_links(), 2u);
+  const std::vector<Network::BusyLink> busy = net.busy_links();
+  ASSERT_EQ(busy.size(), 2u);
+  EXPECT_EQ(busy[0].from, 0u);
+  EXPECT_EQ(busy[0].to, 1u);
+  EXPECT_EQ(busy[0].in_flight, 2u);
+  EXPECT_EQ(busy[1].from, 2u);
+  EXPECT_EQ(busy[1].to, 3u);
+  engine.run();
+  EXPECT_EQ(net.total_in_flight(), 0u);
+  EXPECT_TRUE(net.busy_links().empty());
+  // Drained links stay counted: active_links is ever-carried-traffic.
+  EXPECT_EQ(net.active_links(), 2u);
+}
+
+TEST_F(Fixture, DenseModeDiagnosticsMatchSparseSemantics) {
+  net.set_link_mode(Network::LinkMode::kDense);
+  net.send(0, 1, std::make_shared<TestPayload>());
+  net.send(2, 3, std::make_shared<TestPayload>());
+  EXPECT_EQ(net.in_flight(0, 1), 1u);
+  EXPECT_EQ(net.total_in_flight(), 2u);
+  EXPECT_EQ(net.active_links(), 2u);
+  const std::vector<Network::BusyLink> busy = net.busy_links();
+  ASSERT_EQ(busy.size(), 2u);
+  EXPECT_EQ(busy[0].from, 0u);
+  EXPECT_EQ(busy[1].from, 2u);
 }
 
 TEST(NetworkInvalid, RejectsBadConstruction) {

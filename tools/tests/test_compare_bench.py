@@ -104,6 +104,25 @@ class CompareBenchTest(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertIn("missing in fresh run", out)
 
+    def test_subset_turns_baseline_only_entries_into_notes(self):
+        # CI runs the scale sweep capped (ASYNCDR_SCALE_MAX_K); the fresh
+        # file legitimately covers a prefix of the committed full sweep.
+        base = self.path("base.json", bench_doc(
+            [entry(label="k=64"), entry(label="k=4096")]))
+        fresh = self.path("fresh.json", bench_doc([entry(label="k=64")]))
+        code, out, _ = self.run_tool(base, fresh, "--subset")
+        self.assertEqual(code, 0, out)
+        self.assertIn("note: baseline entry not in this capped run", out)
+
+    def test_subset_still_diffs_the_entries_that_are_present(self):
+        base = self.path("base.json", bench_doc(
+            [entry(label="k=64", q=100.0), entry(label="k=4096")]))
+        fresh = self.path("fresh.json", bench_doc(
+            [entry(label="k=64", q=200.0)]))
+        code, out, _ = self.run_tool(base, fresh, "--subset")
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+
     def test_new_entry_in_fresh_is_allowed_but_noted(self):
         base = self.path("base.json", bench_doc([entry(label="old")]))
         fresh = self.path("fresh.json", bench_doc(

@@ -24,6 +24,7 @@ asyncdr_bench(bench_decision_tree bench/bench_decision_tree.cpp)
 asyncdr_bench(bench_oracle bench/bench_oracle.cpp)
 asyncdr_bench(bench_sync_vs_async bench/bench_sync_vs_async.cpp)
 asyncdr_bench(bench_scale bench/bench_scale.cpp)
+asyncdr_bench(bench_recovery bench/bench_recovery.cpp)
 
 asyncdr_bench(bench_micro bench/bench_micro.cpp)
 target_link_libraries(bench_micro PRIVATE benchmark::benchmark)

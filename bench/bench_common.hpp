@@ -160,10 +160,18 @@ class BenchJson {
   /// A single named scalar for benches with bespoke measurement loops.
   void record_value(const std::string& section, const std::string& label,
                     const std::string& metric, double value) {
+    record_values(section, label, {{metric, value}});
+  }
+
+  /// Several named scalars under one (section, label) key — one entry, so
+  /// compare_bench.py sees them as a single comparable data point.
+  void record_values(
+      const std::string& section, const std::string& label,
+      std::initializer_list<std::pair<std::string, double>> metrics) {
     obs::Json e = obs::Json::object();
     e["section"] = section;
     e["label"] = label;
-    e[metric] = value;
+    for (const auto& [metric, value] : metrics) e[metric] = value;
     doc_["entries"].push_back(std::move(e));
   }
 

@@ -61,6 +61,8 @@
 //                the shrinker tightens; a shrunk repro is replayed by
 //                pasting its emitted flags here)
 //   --beyond-model 1    add duplication/burst stressors (degradation mode)
+//   --recovery 1        crash-recovery cases on recoverable protocols
+//                       (restarts, crash-point kills, journal corruption)
 //   --inject-bug committee-threshold   arm the planted off-by-one
 //   --no-shrink 1       report failures without shrinking them
 //   --verbose 1         list every case, not just failures
@@ -339,6 +341,7 @@ int run_chaos(int argc, char** argv) {
   options.chaos.latency_spread =
       args.get_double("latency-spread", options.chaos.latency_spread);
   options.chaos.beyond_model = args.get_size("beyond-model", 0) != 0;
+  options.chaos.recovery = args.get_size("recovery", 0) != 0;
   const std::string bug = args.get("inject-bug", "");
   if (bug == "committee-threshold") {
     options.chaos.inject_committee_bug = true;

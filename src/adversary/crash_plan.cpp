@@ -14,6 +14,24 @@ void CrashPlan::add_after_sends(sim::PeerId peer, std::uint64_t sends) {
   specs_.push_back(CrashSpec{peer, CrashSpec::Kind::kAfterSends, 0, sends});
 }
 
+void CrashPlan::add_restart_at(sim::PeerId peer, sim::Time at) {
+  specs_.push_back(CrashSpec{peer, CrashSpec::Kind::kRestartAt, at, 0});
+}
+
+void CrashPlan::add_restart_after(sim::PeerId peer, sim::Time delay) {
+  specs_.push_back(CrashSpec{peer, CrashSpec::Kind::kRestartAfter, delay, 0});
+}
+
+bool CrashPlan::has_restarts() const {
+  for (const CrashSpec& spec : specs_) {
+    if (spec.kind == CrashSpec::Kind::kRestartAt ||
+        spec.kind == CrashSpec::Kind::kRestartAfter) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void CrashPlan::apply(dr::World& world) const {
   for (const CrashSpec& spec : specs_) {
     switch (spec.kind) {
@@ -22,6 +40,12 @@ void CrashPlan::apply(dr::World& world) const {
         break;
       case CrashSpec::Kind::kAfterSends:
         world.crash_after_sends(spec.peer, spec.sends);
+        break;
+      case CrashSpec::Kind::kRestartAt:
+        world.schedule_restart_at(spec.peer, spec.at);
+        break;
+      case CrashSpec::Kind::kRestartAfter:
+        world.restart_after_delay(spec.peer, spec.at);
         break;
     }
   }
@@ -32,10 +56,17 @@ std::string CrashPlan::to_string() const {
   os << "CrashPlan{";
   for (const CrashSpec& spec : specs_) {
     os << "p" << spec.peer;
-    if (spec.kind == CrashSpec::Kind::kAtTime) {
-      os << "@t=" << spec.at << ' ';
-    } else {
-      os << "@sends=" << spec.sends << ' ';
+    switch (spec.kind) {
+      case CrashSpec::Kind::kAtTime: os << "@t=" << spec.at << ' '; break;
+      case CrashSpec::Kind::kAfterSends:
+        os << "@sends=" << spec.sends << ' ';
+        break;
+      case CrashSpec::Kind::kRestartAt:
+        os << "@restart=" << spec.at << ' ';
+        break;
+      case CrashSpec::Kind::kRestartAfter:
+        os << "@restart+" << spec.at << ' ';
+        break;
     }
   }
   os << '}';
@@ -80,6 +111,52 @@ CrashPlan CrashPlan::partial_broadcast(const dr::Config& cfg, Rng& rng,
   CrashPlan plan;
   for (std::size_t victim : rng.sample_without_replacement(cfg.k, count)) {
     plan.add_after_sends(victim, sends);
+  }
+  return plan;
+}
+
+CrashPlan CrashPlan::restart_storm(const dr::Config& cfg, Rng& rng,
+                                   std::size_t count, sim::Time spacing,
+                                   sim::Time storm_at, sim::Time window) {
+  ASYNCDR_EXPECTS(count <= cfg.max_faulty());
+  ASYNCDR_EXPECTS(spacing >= 0 && window >= 0);
+  ASYNCDR_EXPECTS_MSG(storm_at >= spacing * static_cast<sim::Time>(count),
+                      "the storm must start after the last crash");
+  CrashPlan plan;
+  const auto victims = rng.sample_without_replacement(cfg.k, count);
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    plan.add_at_time(victims[i], spacing * static_cast<sim::Time>(i + 1));
+  }
+  // Revivals land in one tight burst — deliberately synchronized, so the
+  // World-side backoff/jitter is what keeps re-registration from stampeding.
+  for (std::size_t victim : victims) {
+    plan.add_restart_after(victim,
+                           storm_at + (window > 0 ? rng.uniform(0.0, window)
+                                                  : 0.0));
+  }
+  return plan;
+}
+
+CrashPlan CrashPlan::flapping(const dr::Config& cfg, Rng& rng,
+                              std::size_t count, std::size_t cycles,
+                              sim::Time period, sim::Time up_delay,
+                              sim::Time jitter) {
+  ASYNCDR_EXPECTS(count <= cfg.max_faulty());
+  ASYNCDR_EXPECTS(cycles >= 1);
+  ASYNCDR_EXPECTS_MSG(up_delay + jitter < period,
+                      "a flap must revive before its next kill");
+  CrashPlan plan;
+  const auto victims = rng.sample_without_replacement(cfg.k, count);
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    // Stagger the victims' cycle origins so flaps interleave across peers.
+    const sim::Time start =
+        period * static_cast<sim::Time>(i + 1) / static_cast<sim::Time>(count + 1);
+    for (std::size_t j = 0; j < cycles; ++j) {
+      const sim::Time down = start + period * static_cast<sim::Time>(j);
+      plan.add_at_time(victims[i], down);
+      const sim::Time extra = jitter > 0 ? rng.uniform(0.0, jitter) : 0.0;
+      plan.add_restart_at(victims[i], down + up_delay + extra);
+    }
   }
   return plan;
 }

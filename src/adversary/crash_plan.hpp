@@ -14,11 +14,13 @@
 
 namespace asyncdr::adv {
 
-/// One crash instruction.
+/// One crash (or, on crash-recovery worlds, restart) instruction.
 struct CrashSpec {
   enum class Kind {
-    kAtTime,      ///< crash at absolute virtual time `at`
-    kAfterSends,  ///< crash just before the (sends+1)-th send
+    kAtTime,        ///< crash at absolute virtual time `at`
+    kAfterSends,    ///< crash just before the (sends+1)-th send
+    kRestartAt,     ///< revive at absolute virtual time `at` (exact)
+    kRestartAfter,  ///< revive after delay `at` + re-registration backoff
   };
   sim::PeerId peer = sim::kNoPeer;
   Kind kind = Kind::kAtTime;
@@ -33,9 +35,20 @@ class CrashPlan {
 
   void add_at_time(sim::PeerId peer, sim::Time at);
   void add_after_sends(sim::PeerId peer, std::uint64_t sends);
+  /// Restart instructions (the world must have recovery enabled at apply
+  /// time). kRestartAt revives at an exact instant; kRestartAfter goes
+  /// through World::restart_after_delay and picks up the anti-storm
+  /// backoff + jitter. Both delays are measured from plan-apply time (t=0),
+  /// not from the crash: a restart that fires while its peer is still up is
+  /// a deliberate no-op, so schedule revivals after the matching crash.
+  void add_restart_at(sim::PeerId peer, sim::Time at);
+  void add_restart_after(sim::PeerId peer, sim::Time delay);
 
   [[nodiscard]] std::size_t size() const { return specs_.size(); }
   [[nodiscard]] const std::vector<CrashSpec>& specs() const { return specs_; }
+  /// True iff the plan contains restart instructions (and therefore needs a
+  /// recovery-enabled world).
+  [[nodiscard]] bool has_restarts() const;
 
   /// Registers every crash with the world (marks the peers faulty).
   void apply(dr::World& world) const;
@@ -63,6 +76,26 @@ class CrashPlan {
   /// broadcast — the adversarially partial stage-1 delivery.
   static CrashPlan partial_broadcast(const dr::Config& cfg, Rng& rng,
                                      std::size_t count, std::uint64_t sends);
+
+  // ---- Crash-recovery generators (world needs enable_recovery). ----
+
+  /// Restart storm: victims crash one per `spacing` time units (like
+  /// staggered) and are ALL revived inside the `window`-wide burst starting
+  /// at `storm_at`, spread by rng jitter — the synchronized-comeback case
+  /// the re-registration backoff exists to de-correlate. `storm_at` must be
+  /// past the last crash.
+  static CrashPlan restart_storm(const dr::Config& cfg, Rng& rng,
+                                 std::size_t count, sim::Time spacing,
+                                 sim::Time storm_at, sim::Time window);
+
+  /// Flapping: each victim cycles crash -> revive `cycles` times. Cycle j
+  /// of victim i kills at start_i + j*period and revives `up_delay` (plus
+  /// rng jitter of up to `jitter`) later; up_delay + jitter must stay below
+  /// period so the instructions alternate.
+  static CrashPlan flapping(const dr::Config& cfg, Rng& rng,
+                            std::size_t count, std::size_t cycles,
+                            sim::Time period, sim::Time up_delay,
+                            sim::Time jitter = 0);
 
  private:
   std::vector<CrashSpec> specs_;

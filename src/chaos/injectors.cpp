@@ -9,6 +9,7 @@
 #include "chaos/stressors.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "dr/journal.hpp"
 #include "protocols/bounds.hpp"
 
 namespace asyncdr::chaos {
@@ -68,6 +69,7 @@ std::string ChaosOptions::to_flags() const {
   os << " --latency-spread " << fmt(latency_spread);
   if (beyond_model) os << " --beyond-model 1";
   if (inject_committee_bug) os << " --inject-bug committee-threshold";
+  if (recovery) os << " --recovery 1";
   return os.str();
 }
 
@@ -92,6 +94,7 @@ const std::vector<ProtocolProfile>& protocol_registry() {
     };
     crash_one.q_bound = proto::bounds::crash_one_q;
     crash_one.single_crash = true;
+    crash_one.recoverable = true;
     r.push_back(std::move(crash_one));
 
     ProtocolProfile crash_multi;
@@ -102,6 +105,7 @@ const std::vector<ProtocolProfile>& protocol_registry() {
     crash_multi.q_bound = proto::bounds::crash_multi_q;
     crash_multi.beta_min = 0.0;
     crash_multi.beta_max = 0.85;
+    crash_multi.recoverable = true;
     r.push_back(std::move(crash_multi));
 
     ProtocolProfile committee;
@@ -307,6 +311,87 @@ ChaosCase sample_case(const ProtocolProfile& profile, std::uint64_t seed,
   if (profile.q_bound) out.q_bound = profile.q_bound(cfg);
   if (profile.m_bound) out.m_bound = profile.m_bound(cfg);
   if (profile.t_bound) out.t_bound = profile.t_bound(cfg);
+
+  // ---- Crash-recovery sampling (opt-in; recoverable profiles only). ----
+  // Crashed peers come back through the journal/restart path; the sampler
+  // may additionally arm a kill-at-crash-point sentinel and corrupt a
+  // journal mid-run. Complexity bounds assume crash-stop, so recovery cases
+  // zero them and keep only the correctness predicate.
+  if (options.recovery && profile.recoverable) {
+    s.recovery.factory = profile.honest(options);
+    std::ostringstream rec;
+
+    // Every timed crash victim may come back; a copy of the specs, because
+    // the restart instructions below append to the same plan.
+    const std::vector<adv::CrashSpec> base = s.crashes.specs();
+    for (const adv::CrashSpec& spec : base) {
+      if (spec.kind != adv::CrashSpec::Kind::kAtTime) continue;
+      if (!rng.flip(0.8)) continue;  // some victims stay down
+      const sim::Time delay = spec.at + rng.uniform(0.5, 4.0);
+      s.crashes.add_restart_after(spec.peer, delay);
+      rec << " p" << spec.peer << "+restart+" << fmt(delay);
+      if (rng.flip(0.35)) {
+        proto::RecoveryPlan::Corruption c;
+        c.peer = spec.peer;
+        c.at = spec.at + 0.1;  // after the crash, before any revival
+        switch (rng.below(3)) {
+          case 0:
+            c.mode = proto::RecoveryPlan::Corruption::Mode::kTruncateTail;
+            c.amount = 1 + rng.below(64);
+            rec << " corrupt{p" << c.peer << ":trunc=" << c.amount << '}';
+            break;
+          case 1:
+            c.mode = proto::RecoveryPlan::Corruption::Mode::kFlipBit;
+            c.amount = rng.below(4096);
+            rec << " corrupt{p" << c.peer << ":flip=" << c.amount << '}';
+            break;
+          default:
+            c.mode = proto::RecoveryPlan::Corruption::Mode::kClear;
+            rec << " corrupt{p" << c.peer << ":clear}";
+            break;
+        }
+        s.recovery.corruptions.push_back(c);
+      }
+    }
+
+    // With leftover fault budget, kill one fresh peer mid-journal-write at
+    // a sampled sentinel (the torn-record case the framing CRC exists for).
+    if (out.faults < std::min(t, options.fault_cap)) {
+      std::vector<sim::PeerId> free_ids;
+      for (sim::PeerId id = 0; id < cfg.k; ++id) {
+        bool used = false;
+        for (const adv::CrashSpec& spec : base) used |= spec.peer == id;
+        for (const sim::PeerId byz_id : s.byz_ids) used |= byz_id == id;
+        if (!used) free_ids.push_back(id);
+      }
+      if (!free_ids.empty() && rng.flip(0.6)) {
+        static constexpr dr::CrashPoint kPoints[] = {
+            dr::CrashPoint::kAppendStart, dr::CrashPoint::kMidRecord,
+            dr::CrashPoint::kAppendCommit, dr::CrashPoint::kCheckpoint};
+        proto::RecoveryPlan::CrashPointKill kill;
+        kill.peer = free_ids[rng.below(free_ids.size())];
+        kill.point = kPoints[rng.below(4)];
+        kill.nth = 1 + rng.below(2);
+        kill.restart_delay = rng.flip(0.85) ? rng.uniform(0.5, 3.0) : -1.0;
+        s.recovery.kills.push_back(kill);
+        out.faults += 1;
+        rec << " kill{p" << kill.peer << '@' << dr::to_string(kill.point)
+            << " nth=" << kill.nth;
+        if (kill.restart_delay >= 0) {
+          rec << " restart+" << fmt(kill.restart_delay);
+        } else {
+          rec << " dead";
+        }
+        rec << '}';
+      }
+    }
+
+    out.q_bound = 0;
+    out.m_bound = 0;
+    out.t_bound = 0;
+    desc << " | recovery{" << rec.str() << " }";
+  }
+
   out.description = desc.str();
   return out;
 }

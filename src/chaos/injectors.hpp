@@ -38,6 +38,12 @@ struct ChaosOptions {
   /// (CommitteePeer::Options::buggy_vote_threshold) — the planted bug chaos
   /// sweeps are validated against.
   bool inject_committee_bug = false;
+  /// Sample crash-RECOVERY cases on recoverable profiles: crashed peers come
+  /// back via the journal/restart path, and the sampler may additionally arm
+  /// a kill-at-crash-point sentinel or corrupt a journal mid-run. Recovery
+  /// cases check the correctness predicate only (complexity bounds assume
+  /// crash-stop and are zeroed out).
+  bool recovery = false;
 
   /// Renders the options as CLI flags (part of the one-line repro).
   [[nodiscard]] std::string to_flags() const;
@@ -65,6 +71,9 @@ struct ProtocolProfile {
   /// Byzantine attack kinds the sampler may draw for this protocol (names
   /// understood by the sampler; empty unless `byzantine`).
   std::vector<std::string> attack_pool;
+  /// Protocol implements the on_restart resume path, so the sampler may
+  /// turn its crashes into crash+restart pairs when options.recovery is on.
+  bool recoverable = false;
 };
 
 /// The sweepable protocols: naive, crash_one, crash_multi, committee (the

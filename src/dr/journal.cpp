@@ -1,0 +1,225 @@
+#include "dr/journal.hpp"
+
+#include <array>
+
+#include "common/check.hpp"
+
+namespace asyncdr::dr {
+
+namespace {
+
+// Record framing: | kind:1 | payload_len:4 LE | payload | crc:4 LE |
+// with the CRC computed over kind + payload_len + payload. The frame is
+// self-delimiting, so replay can walk a log byte-exactly and stop at the
+// first frame that fails to verify.
+constexpr std::uint8_t kKindBits = 0xB1;
+constexpr std::uint8_t kKindCheckpoint = 0xC9;
+constexpr std::size_t kHeaderBytes = 5;   // kind + payload_len
+constexpr std::size_t kCrcBytes = 4;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+/// Frame for one record, CRC included.
+std::vector<std::uint8_t> frame(std::uint8_t kind,
+                                const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + payload.size() + kCrcBytes);
+  out.push_back(kind);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  put_u32(out, Journal::crc32(out.data(), out.size()));
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(CrashPoint point) {
+  switch (point) {
+    case CrashPoint::kAppendStart: return "append-start";
+    case CrashPoint::kMidRecord: return "mid-record";
+    case CrashPoint::kAppendCommit: return "append-commit";
+    case CrashPoint::kCheckpoint: return "checkpoint";
+  }
+  return "?";
+}
+
+JournalStore::JournalStore(std::size_t k) : logs_(k) {}
+
+const std::vector<std::uint8_t>& JournalStore::log(sim::PeerId id) const {
+  ASYNCDR_EXPECTS(id < logs_.size());
+  return logs_[id];
+}
+
+std::size_t JournalStore::bytes(sim::PeerId id) const {
+  return log(id).size();
+}
+
+void JournalStore::truncate_tail(sim::PeerId id, std::size_t count) {
+  ASYNCDR_EXPECTS(id < logs_.size());
+  std::vector<std::uint8_t>& log = logs_[id];
+  log.resize(log.size() - std::min(count, log.size()));
+}
+
+void JournalStore::flip_bit(sim::PeerId id, std::size_t bit_index) {
+  ASYNCDR_EXPECTS(id < logs_.size());
+  std::vector<std::uint8_t>& log = logs_[id];
+  if (log.empty()) return;
+  const std::size_t bit = bit_index % (log.size() * 8);
+  log[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+void JournalStore::clear(sim::PeerId id) {
+  ASYNCDR_EXPECTS(id < logs_.size());
+  logs_[id].clear();
+}
+
+bool JournalStore::killed_at(sim::PeerId id, CrashPoint point) const {
+  return hook_ && hook_(id, point);
+}
+
+Journal::Journal(JournalStore& store, sim::PeerId id)
+    : store_(store), id_(id) {
+  ASYNCDR_EXPECTS(id < store.peers());
+}
+
+bool Journal::append_bits(std::size_t lo, const BitVec& values) {
+  if (store_.killed_at(id_, CrashPoint::kAppendStart)) return false;
+
+  std::vector<std::uint8_t> payload;
+  payload.reserve(16 + (values.size() + 7) / 8);
+  put_u64(payload, lo);
+  put_u64(payload, values.size());
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values.get(i)) acc |= static_cast<std::uint8_t>(1u << (i % 8));
+    if (i % 8 == 7) {
+      payload.push_back(acc);
+      acc = 0;
+    }
+  }
+  if (values.size() % 8 != 0) payload.push_back(acc);
+  const std::vector<std::uint8_t> rec = frame(kKindBits, payload);
+
+  std::vector<std::uint8_t>& log = store_.logs_[id_];
+  // A mid-record kill must leave a *genuinely* torn tail: header plus part
+  // of the payload, no CRC. Write in two halves with the sentinel between.
+  const std::size_t half = kHeaderBytes + payload.size() / 2;
+  log.insert(log.end(), rec.begin(), rec.begin() + static_cast<std::ptrdiff_t>(half));
+  if (store_.killed_at(id_, CrashPoint::kMidRecord)) return false;
+  log.insert(log.end(), rec.begin() + static_cast<std::ptrdiff_t>(half), rec.end());
+  return !store_.killed_at(id_, CrashPoint::kAppendCommit);
+}
+
+bool Journal::checkpoint(const std::string& name, std::uint64_t value) {
+  ASYNCDR_EXPECTS_MSG(name.size() <= 0xffff, "checkpoint name too long");
+  if (store_.killed_at(id_, CrashPoint::kCheckpoint)) return false;
+  std::vector<std::uint8_t> payload;
+  payload.reserve(10 + name.size());
+  put_u64(payload, value);
+  put_u16(payload, static_cast<std::uint16_t>(name.size()));
+  payload.insert(payload.end(), name.begin(), name.end());
+  const std::vector<std::uint8_t> rec = frame(kKindCheckpoint, payload);
+  std::vector<std::uint8_t>& log = store_.logs_[id_];
+  log.insert(log.end(), rec.begin(), rec.end());
+  return true;
+}
+
+JournalReplay Journal::replay(const std::vector<std::uint8_t>& log,
+                              std::size_t n) {
+  JournalReplay out;
+  out.bits = BitVec(n);
+  std::size_t pos = 0;
+  while (pos < log.size()) {
+    const std::size_t start = pos;
+    const auto torn = [&] {
+      out.torn = true;
+      out.discarded_bytes = log.size() - start;
+      return out;
+    };
+    if (log.size() - pos < kHeaderBytes + kCrcBytes) return torn();
+    const std::uint8_t kind = log[pos];
+    const std::size_t len = get_u32(&log[pos + 1]);
+    if (kind != kKindBits && kind != kKindCheckpoint) return torn();
+    if (log.size() - pos < kHeaderBytes + len + kCrcBytes) return torn();
+    const std::uint32_t stored = get_u32(&log[pos + kHeaderBytes + len]);
+    if (crc32(&log[pos], kHeaderBytes + len) != stored) return torn();
+
+    const std::uint8_t* payload = &log[pos + kHeaderBytes];
+    if (kind == kKindBits) {
+      if (len < 16) return torn();
+      const std::uint64_t lo = get_u64(payload);
+      const std::uint64_t count = get_u64(payload + 8);
+      // Bounds are part of the trust decision: a record claiming bits the
+      // input does not have is corruption, not data.
+      if (count > n || lo > n - count) return torn();
+      if (len != 16 + (count + 7) / 8) return torn();
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const bool bit = (payload[16 + i / 8] >> (i % 8)) & 1u;
+        out.bits.set(static_cast<std::size_t>(lo + i), bit);
+      }
+      if (count > 0) {
+        out.intervals.insert(static_cast<std::size_t>(lo),
+                             static_cast<std::size_t>(lo + count));
+      }
+    } else {
+      if (len < 10) return torn();
+      const std::uint64_t value = get_u64(payload);
+      const std::size_t name_len = payload[8] | (std::size_t{payload[9]} << 8);
+      if (len != 10 + name_len) return torn();
+      out.checkpoints.emplace_back(
+          std::string(reinterpret_cast<const char*>(payload + 10), name_len),
+          value);
+    }
+    ++out.records;
+    pos += kHeaderBytes + len + kCrcBytes;
+  }
+  return out;
+}
+
+std::uint32_t Journal::crc32(const std::uint8_t* data, std::size_t len) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int b = 0; b < 8; ++b) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace asyncdr::dr

@@ -42,6 +42,48 @@ BitVec Peer::query_indices(const std::vector<std::size_t>& indices) {
 
 sim::Time Peer::now() const { return world_->engine().now(); }
 
+void Peer::on_restart(const RecoveryState& state) {
+  (void)state;
+  on_start();
+}
+
+bool Peer::crashed() const { return world_->network().is_crashed(id_); }
+
+bool Peer::journaling() const { return world_->recovery_enabled(); }
+
+bool Peer::journal_bits(std::size_t lo, const BitVec& values) {
+  if (!journaling()) return true;
+  return world_->journal_for(id_).append_bits(lo, values);
+}
+
+bool Peer::journal_indices(const std::vector<std::size_t>& indices,
+                           const BitVec& values) {
+  if (!journaling()) return true;
+  ASYNCDR_EXPECTS(indices.size() == values.size());
+  Journal journal = world_->journal_for(id_);
+  std::size_t i = 0;
+  while (i < indices.size()) {
+    std::size_t j = i + 1;
+    while (j < indices.size() && indices[j] == indices[j - 1] + 1) ++j;
+    BitVec run(j - i);
+    for (std::size_t b = i; b < j; ++b) run.set(b - i, values.get(b));
+    // A kill between runs leaves a valid prefix: strictly fewer claimed
+    // bits than downloaded, never more.
+    if (!journal.append_bits(indices[i], run)) return false;
+    i = j;
+  }
+  return true;
+}
+
+bool Peer::journal_checkpoint(const std::string& name, std::uint64_t value) {
+  if (!journaling()) return true;
+  return world_->journal_for(id_).checkpoint(name, value);
+}
+
+void Peer::credit_queries_saved(std::size_t bits) {
+  world_->credit_queries_saved(bits);
+}
+
 void Peer::begin_phase(std::string name) {
   world_->begin_phase(id_, std::move(name));
 }

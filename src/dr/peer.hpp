@@ -17,6 +17,7 @@
 namespace asyncdr::dr {
 
 class World;
+struct RecoveryState;
 
 /// Base class for all peers in a DR world.
 class Peer : public sim::Receiver {
@@ -39,6 +40,12 @@ class Peer : public sim::Receiver {
   /// Invoked once at the peer's (adversary-chosen) start time.
   virtual void on_start() = 0;
 
+  /// Invoked *instead of* on_start when the world revives this incarnation
+  /// after a crash (crash-recovery worlds only). `state` carries the
+  /// replayed journal. The default ignores the journal and cold-starts;
+  /// recoverable protocols override it to resume from the recovered bits.
+  virtual void on_restart(const RecoveryState& state);
+
   /// One-line description of what the peer is doing / waiting on, for the
   /// stall report a run emits when peers fail to terminate. Protocols
   /// override this to expose their wait state (phase, pending quorums, ...).
@@ -59,6 +66,27 @@ class Peer : public sim::Receiver {
   BitVec query_indices(const std::vector<std::size_t>& indices);
 
   [[nodiscard]] sim::Time now() const;
+
+  /// True iff this peer is currently severed from the network. Crash-point
+  /// sentinels can kill a peer synchronously inside a handler; long
+  /// handlers check this to stop doing work as a ghost.
+  [[nodiscard]] bool crashed() const;
+
+  /// True iff the world journals downloads (crash-recovery enabled).
+  [[nodiscard]] bool journaling() const;
+  /// Write-ahead helpers: append what was just downloaded / a phase
+  /// checkpoint to this peer's journal. No-ops returning true when
+  /// journaling is off. A false return means a crash-point sentinel killed
+  /// this peer mid-append — stop immediately.
+  bool journal_bits(std::size_t lo, const BitVec& values);
+  /// Journals an index batch (with values aligned to `indices`) as maximal
+  /// contiguous runs. `indices` must be strictly increasing.
+  bool journal_indices(const std::vector<std::size_t>& indices,
+                       const BitVec& values);
+  bool journal_checkpoint(const std::string& name, std::uint64_t value);
+  /// Credits recovered bits this incarnation did *not* re-query against the
+  /// run's queries_saved counter (recovery accounting).
+  void credit_queries_saved(std::size_t bits);
 
   /// Opens a named protocol phase for this peer (closing the previous one).
   /// All source queries and sends from now until the next begin_phase() or

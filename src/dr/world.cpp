@@ -1,12 +1,19 @@
 #include "dr/world.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/check.hpp"
 #include "common/table.hpp"
 
 namespace asyncdr::dr {
+
+sim::Time RecoveryOptions::backoff(std::size_t restarts) const {
+  const double raw =
+      base_delay * std::pow(backoff_factor, static_cast<double>(restarts));
+  return std::min(max_delay, raw);
+}
 
 std::string StallReport::to_string() const {
   std::ostringstream os;
@@ -63,6 +70,14 @@ std::string RunReport::to_string() const {
     os << " unterminated=[";
     for (auto p : unterminated_peers) os << p << ' ';
     os << ']';
+  }
+  if (recovery.restarts > 0) {
+    os << " restarts=" << recovery.restarts
+       << " replays=" << recovery.journal_replays
+       << " bits_recovered=" << recovery.bits_recovered
+       << " queries_saved=" << recovery.queries_saved
+       << " cold_fallbacks=" << recovery.cold_fallbacks
+       << " torn_tails=" << recovery.torn_tails;
   }
   os << '}';
   return os.str();
@@ -141,10 +156,19 @@ std::size_t World::faulty_count() const {
 
 void World::schedule_crash_at(sim::PeerId id, sim::Time t) {
   mark_faulty(id);
-  engine_.schedule_at(t, [this, id] {
-    net_.crash(id);
-    if (trace_) trace_->record_crash(engine_.now(), id);
-  });
+  // crash_now (not a bare net_.crash) so a *revived* peer that was given a
+  // second scheduled crash is re-marked faulty when the event fires, and so
+  // the auto-restart policy sees every kill.
+  engine_.schedule_at(t, [this, id] { crash_now(id); });
+}
+
+void World::crash_now(sim::PeerId id) {
+  if (net_.is_crashed(id)) return;
+  faulty_[id] = true;  // budget was charged when the crash was armed
+  net_.crash(id);
+  if (trace_) trace_->record_crash(engine_.now(), id);
+  const auto it = auto_restart_delay_.find(id);
+  if (it != auto_restart_delay_.end()) restart_after_delay(id, it->second);
 }
 
 void World::crash_after_sends(sim::PeerId id, std::uint64_t count) {
@@ -164,13 +188,138 @@ void World::install_send_hook_if_needed() {
     auto it = sends_remaining_.find(msg.from);
     if (it == sends_remaining_.end()) return;
     if (it->second == 0) {
-      net_.crash(msg.from);
-      if (trace_) trace_->record_crash(engine_.now(), msg.from);
       sends_remaining_.erase(it);
+      crash_now(msg.from);
     } else {
       --it->second;
     }
   });
+}
+
+void World::enable_recovery(RestartFactory factory, RecoveryOptions options) {
+  ASYNCDR_EXPECTS_MSG(!ran_, "enable_recovery must precede run()");
+  ASYNCDR_EXPECTS(factory != nullptr);
+  ASYNCDR_EXPECTS(options.backoff_factor >= 1.0);
+  ASYNCDR_EXPECTS(options.base_delay >= 0 && options.max_delay >= 0);
+  restart_factory_ = std::move(factory);
+  recovery_options_ = options;
+  journal_store_ = std::make_unique<JournalStore>(cfg_.k);
+  restart_counts_.assign(cfg_.k, 0);
+  restart_rng_ = adversary_rng(0x7e57a7ull);
+  journal_store_->set_crash_point_hook(
+      [this](sim::PeerId id, CrashPoint point) {
+        const auto it = crash_point_kills_.find(id);
+        if (it == crash_point_kills_.end() || it->second.first != point) {
+          return false;
+        }
+        if (it->second.second > 1) {
+          --it->second.second;
+          return false;
+        }
+        crash_point_kills_.erase(it);
+        crash_now(id);
+        return true;
+      });
+}
+
+JournalStore& World::journal_store() {
+  ASYNCDR_EXPECTS_MSG(journal_store_ != nullptr, "recovery is not enabled");
+  return *journal_store_;
+}
+
+Journal World::journal_for(sim::PeerId id) {
+  return Journal(journal_store(), id);
+}
+
+void World::credit_queries_saved(std::size_t bits) {
+  recovery_stats_.queries_saved += bits;
+}
+
+void World::schedule_restart_at(sim::PeerId id, sim::Time t) {
+  ASYNCDR_EXPECTS_MSG(journal_store_ != nullptr,
+                      "restarts need enable_recovery");
+  ASYNCDR_EXPECTS(id < cfg_.k);
+  engine_.schedule_at(t, [this, id] { do_restart(id); });
+}
+
+void World::restart_after_delay(sim::PeerId id, sim::Time delay) {
+  ASYNCDR_EXPECTS_MSG(journal_store_ != nullptr,
+                      "restarts need enable_recovery");
+  ASYNCDR_EXPECTS(id < cfg_.k);
+  ASYNCDR_EXPECTS(delay >= 0);
+  const sim::Time backoff = recovery_options_.backoff(restart_counts_[id]);
+  const sim::Time jitter =
+      recovery_options_.jitter > 0
+          ? restart_rng_.uniform(0.0, recovery_options_.jitter)
+          : 0.0;
+  engine_.schedule_in(delay + backoff + jitter, [this, id] { do_restart(id); });
+}
+
+void World::restart_on_crash(sim::PeerId id, sim::Time delay) {
+  ASYNCDR_EXPECTS_MSG(journal_store_ != nullptr,
+                      "restarts need enable_recovery");
+  ASYNCDR_EXPECTS(id < cfg_.k);
+  ASYNCDR_EXPECTS(delay >= 0);
+  auto_restart_delay_[id] = delay;
+}
+
+void World::kill_at_crash_point(sim::PeerId id, CrashPoint point,
+                                std::size_t nth) {
+  ASYNCDR_EXPECTS_MSG(journal_store_ != nullptr,
+                      "crash-point kills need enable_recovery");
+  ASYNCDR_EXPECTS(id < cfg_.k);
+  ASYNCDR_EXPECTS(nth >= 1);
+  crash_point_kills_[id] = {point, nth};
+}
+
+std::size_t World::restart_count(sim::PeerId id) const {
+  ASYNCDR_EXPECTS(id < cfg_.k);
+  return restart_counts_.empty() ? 0 : restart_counts_[id];
+}
+
+void World::do_restart(sim::PeerId id) {
+  if (!net_.is_crashed(id)) return;  // never crashed, or already revived
+  if (restart_counts_[id] >= recovery_options_.max_restarts) return;
+  ++restart_counts_[id];
+  ++recovery_stats_.restarts;
+
+  JournalReplay replay =
+      recovery_options_.cold_restart
+          ? Journal::replay({}, cfg_.n)
+          : Journal::replay(journal_store_->log(id), cfg_.n);
+  if (replay.torn) ++recovery_stats_.torn_tails;
+  if (replay.records == 0) {
+    ++recovery_stats_.cold_fallbacks;
+  } else {
+    ++recovery_stats_.journal_replays;
+    recovery_stats_.bits_recovered += replay.intervals.count();
+  }
+
+  // Crash-stop semantics within an incarnation: the old peer's memory is
+  // gone; only the journal carried state across. Build a fresh peer on a
+  // per-incarnation RNG stream and splice it into the network.
+  std::unique_ptr<Peer> fresh = restart_factory_(cfg_, id);
+  ASYNCDR_EXPECTS_MSG(fresh != nullptr, "restart factory returned null");
+  fresh->bind(this, id,
+              Rng(cfg_.seed).split(id).split(0xbea7 + restart_counts_[id]));
+  net_.revive(id);
+  net_.attach(id, fresh.get());
+  peers_[id] = std::move(fresh);
+  // The revived peer re-enters the correctness predicate: it must download
+  // the full input (or the run is wrong), and its queries count again.
+  faulty_[id] = false;
+
+  if (trace_) {
+    trace_->record_note(engine_.now(), id,
+                        "restart #" + std::to_string(restart_counts_[id]) +
+                            " recovered=" +
+                            std::to_string(replay.intervals.count()) +
+                            (replay.torn ? " torn-tail" : ""));
+    // A restart is a causal root, exactly like the first start.
+    trace_->record_start(engine_.now(), id);
+  }
+  RecoveryState state{std::move(replay), restart_counts_[id]};
+  peers_[id]->on_restart(state);
 }
 
 sim::Trace& World::enable_trace(std::size_t capacity) {
@@ -217,11 +366,14 @@ RunReport World::run(std::size_t max_events) {
   ran_ = true;
   for (sim::PeerId id = 0; id < cfg_.k; ++id) {
     ASYNCDR_EXPECTS_MSG(peers_[id] != nullptr, "peer not set: " + std::to_string(id));
-    Peer* p = peers_[id].get();
-    engine_.schedule_at(start_times_[id], [this, p, id] {
+    // Dereference peers_[id] at fire time, not here: a recovery world may
+    // have replaced the peer with a fresh incarnation by then.
+    engine_.schedule_at(start_times_[id], [this, id] {
+      Peer* p = peers_[id].get();
       // A late starter may already be crashed — or even terminated, if a
-      // terminating push reached it before its own start time.
-      if (!net_.is_crashed(id) && !p->terminated()) {
+      // terminating push reached it before its own start time. A revived
+      // incarnation already ran on_restart; don't start it twice.
+      if (!net_.is_crashed(id) && !p->terminated() && restart_count(id) == 0) {
         // The start is a causal root: everything the peer does before its
         // first delivery chains back to this event.
         if (trace_) trace_->record_start(engine_.now(), id);
@@ -235,6 +387,7 @@ RunReport World::run(std::size_t max_events) {
   RunReport report;
   report.events = run_result.events_processed;
   report.budget_exhausted = run_result.budget_exhausted;
+  report.recovery = recovery_stats_;
   report.all_terminated = true;
   report.all_correct = true;
   report.per_peer_queries.resize(cfg_.k, 0);

@@ -13,6 +13,7 @@
 
 #include "common/bitvec.hpp"
 #include "dr/config.hpp"
+#include "dr/journal.hpp"
 #include "dr/peer.hpp"
 #include "dr/phase.hpp"
 #include "dr/source.hpp"
@@ -54,6 +55,34 @@ struct StallReport {
   sim::Time trace_cutoff = -1;
 
   [[nodiscard]] std::string to_string() const;
+};
+
+/// Restart policy for crash-recovery worlds. Re-registration after a crash
+/// backs off exponentially (capped), so restart storms de-synchronize
+/// instead of hammering the source in lockstep.
+struct RecoveryOptions {
+  sim::Time base_delay = 0.5;    ///< backoff before the first re-registration
+  double backoff_factor = 2.0;   ///< growth per successive restart
+  sim::Time max_delay = 8.0;     ///< backoff cap
+  double jitter = 0.5;           ///< uniform extra delay in [0, jitter)
+  std::size_t max_restarts = 8;  ///< further restart requests are ignored
+  /// A/B switch for benchmarks: ignore the journal on restart (the peer
+  /// cold-starts every time). Measures what warm recovery saves.
+  bool cold_restart = false;
+
+  /// Deterministic backoff component before restart number
+  /// `restarts + 1` (jitter excluded): min(max_delay, base * factor^restarts).
+  [[nodiscard]] sim::Time backoff(std::size_t restarts) const;
+};
+
+/// Recovery counters accumulated over one run.
+struct RecoveryStats {
+  std::uint64_t restarts = 0;         ///< successful revivals
+  std::uint64_t journal_replays = 0;  ///< replays that recovered >= 1 record
+  std::uint64_t cold_fallbacks = 0;   ///< replays of an empty/unusable log
+  std::uint64_t torn_tails = 0;       ///< replays that discarded a torn tail
+  std::uint64_t bits_recovered = 0;   ///< bits restored from journals
+  std::uint64_t queries_saved = 0;    ///< recovered bits peers skipped re-querying
 };
 
 /// Outcome of one execution.
@@ -102,6 +131,9 @@ struct RunReport {
   /// Aligned per-peer breakdown (one row per phase span).
   [[nodiscard]] std::string peer_phase_table() const;
 
+  /// Recovery counters (all zero on crash-stop worlds).
+  RecoveryStats recovery;
+
   /// Rendered StallReport, filled iff the run stalled (budget exhausted or
   /// unterminated nonfaulty peers); empty on clean runs.
   std::string stall;
@@ -149,6 +181,46 @@ class World : private sim::NetworkObserver {
   /// start guarantee).
   void set_start_time(sim::PeerId id, sim::Time t);
 
+  /// Builds the replacement peer when a crashed id is revived. Crash-stop
+  /// loses all in-memory state — only the journal survives — so recovery
+  /// always constructs a fresh incarnation.
+  using RestartFactory =
+      std::function<std::unique_ptr<Peer>(const Config&, sim::PeerId)>;
+
+  /// Switches the world to the crash-*recovery* fault model: every peer
+  /// gets a write-ahead journal (in-memory, sim-owned), and crashed peers
+  /// may be revived via schedule_restart_at / restart_after_delay. Call
+  /// before run().
+  void enable_recovery(RestartFactory factory, RecoveryOptions options = {});
+  [[nodiscard]] bool recovery_enabled() const { return journal_store_ != nullptr; }
+  [[nodiscard]] const RecoveryOptions& recovery_options() const {
+    return recovery_options_;
+  }
+  /// The journal store (recovery must be enabled). Chaos injectors use the
+  /// corruption helpers; everything else goes through Peer's journal_*().
+  JournalStore& journal_store();
+  /// Per-run recovery counters.
+  [[nodiscard]] const RecoveryStats& recovery_stats() const {
+    return recovery_stats_;
+  }
+
+  /// Revives a crashed peer at absolute time t (exact; callers wanting the
+  /// anti-storm backoff use restart_after_delay). A restart of a peer that
+  /// is not crashed at that instant is a no-op, as is one past max_restarts.
+  void schedule_restart_at(sim::PeerId id, sim::Time t);
+  /// Revives a crashed peer `delay` after now, plus the capped exponential
+  /// re-registration backoff and deterministic jitter (RecoveryOptions).
+  void restart_after_delay(sim::PeerId id, sim::Time delay);
+  /// Auto-restart: whenever this peer crashes (by schedule, send hook, or
+  /// crash-point kill), schedule restart_after_delay(id, delay).
+  void restart_on_crash(sim::PeerId id, sim::Time delay);
+  /// Arms a kill-at-crash-point: the peer crashes on the nth time it hits
+  /// the given journal sentinel. The victim still counts against the fault
+  /// budget — mark_faulty it first.
+  void kill_at_crash_point(sim::PeerId id, CrashPoint point, std::size_t nth = 1);
+  /// Restarts performed for one peer so far.
+  [[nodiscard]] std::size_t restart_count(sim::PeerId id) const;
+
   /// Enables execution tracing (sends, deliveries, drops, crashes, queries,
   /// terminations). Call before run(). Returns the trace, owned by the
   /// world.
@@ -188,6 +260,15 @@ class World : private sim::NetworkObserver {
  private:
   void install_send_hook_if_needed();
 
+  /// Immediate crash: marks faulty, severs the network, traces, and fires
+  /// the auto-restart policy. Every crash site funnels through here.
+  void crash_now(sim::PeerId id);
+  /// The scheduled revival itself.
+  void do_restart(sim::PeerId id);
+  /// Peer-side journal/recovery hooks (see Peer's protected helpers).
+  [[nodiscard]] Journal journal_for(sim::PeerId id);
+  void credit_queries_saved(std::size_t bits);
+
   // sim::NetworkObserver — the world owns the network's observer slot and
   // fans events out to the phase tracker, the trace, and added observers.
   void on_send(const sim::Message& msg, std::size_t unit_messages) override;
@@ -211,6 +292,15 @@ class World : private sim::NetworkObserver {
   std::vector<bool> faulty_;
   std::vector<sim::Time> start_times_;
   std::map<sim::PeerId, std::uint64_t> sends_remaining_;  // crash_after_sends
+  // Crash-recovery state (all empty/null on crash-stop worlds).
+  std::unique_ptr<JournalStore> journal_store_;
+  RestartFactory restart_factory_;
+  RecoveryOptions recovery_options_;
+  RecoveryStats recovery_stats_;
+  std::vector<std::size_t> restart_counts_;
+  std::map<sim::PeerId, sim::Time> auto_restart_delay_;
+  std::map<sim::PeerId, std::pair<CrashPoint, std::size_t>> crash_point_kills_;
+  Rng restart_rng_{0};
   bool ran_ = false;
 };
 

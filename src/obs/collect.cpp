@@ -110,6 +110,23 @@ void RunMetricsCollector::finalize(const dr::RunReport& report) {
         .set(static_cast<double>(ph.unit_messages));
     registry_.gauge("phase_max_span", labels).set(ph.max_span);
   }
+  // Crash-recovery accounting (all zero on crash-stop worlds). The resume
+  // path runs inside the "recovery" protocol phase, so its Q/T/M share also
+  // shows up in the per-phase gauges above; these totals say how much of the
+  // work the journal avoided re-doing.
+  const dr::RecoveryStats& rec = report.recovery;
+  registry_.gauge("recovery_restarts")
+      .set(static_cast<double>(rec.restarts));
+  registry_.gauge("recovery_journal_replays")
+      .set(static_cast<double>(rec.journal_replays));
+  registry_.gauge("recovery_cold_fallbacks")
+      .set(static_cast<double>(rec.cold_fallbacks));
+  registry_.gauge("recovery_torn_tails")
+      .set(static_cast<double>(rec.torn_tails));
+  registry_.gauge("recovery_bits_recovered")
+      .set(static_cast<double>(rec.bits_recovered));
+  registry_.gauge("recovery_queries_saved")
+      .set(static_cast<double>(rec.queries_saved));
 }
 
 }  // namespace asyncdr::obs

@@ -107,6 +107,34 @@ void CrashMultiPeer::on_start() {
   start_phase(1);
 }
 
+void CrashMultiPeer::on_restart(const dr::RecoveryState& state) {
+  ensure_init();
+  // Reconcile the CRC-verified journal into protocol state: every replayed
+  // interval was downloaded (and persisted) by a previous incarnation.
+  const dr::JournalReplay& journal = state.journal;
+  for (const Interval& iv : journal.intervals.intervals()) {
+    for (std::size_t b = iv.lo; b < iv.hi; ++b) {
+      out_.set(b, journal.bits.get(b));
+      known_.set(b, true);
+    }
+  }
+  credit_queries_saved(known_.popcount());
+  begin_phase("recovery");
+  // The other peers may all have terminated while this one was down (their
+  // FULL rescue was dropped at the crashed port), so recovery must not wait
+  // on anyone: query exactly the bits the journal does not cover, push the
+  // FULL rescue, and terminate.
+  BitVec rest(n(), true);
+  rest.andnot_with(known_);
+  if (!query_mask(rest)) return;  // killed at a sentinel again
+  progress_ = Progress::kDone;
+  if (!full_sent_) {
+    full_sent_ = true;
+    broadcast(std::make_shared<Full>(out_));
+  }
+  finish(out_);
+}
+
 std::string CrashMultiPeer::status() const {
   if (terminated()) return "terminated";
   std::ostringstream os;
@@ -140,6 +168,7 @@ void CrashMultiPeer::ensure_init() {
 void CrashMultiPeer::start_phase(std::size_t r) {
   phase_ = r;
   begin_phase("round-" + std::to_string(r));
+  if (!journal_checkpoint("round", r)) return;  // killed at the sentinel
   const std::size_t unknown_count = n() - known_.popcount();
   if (unknown_count <= direct_threshold() || r > max_phases()) {
     complete_now();
@@ -152,7 +181,7 @@ void CrashMultiPeer::start_phase(std::size_t r) {
   phase_unknown_ = std::move(all_unknown);
 
   // Stage 1: query my own share and pull everyone else's.
-  query_mask(owned_share(phase_unknown_, r, id()));
+  if (!query_mask(owned_share(phase_unknown_, r, id()))) return;
   if (heard_.size() < r) heard_.resize(r);
   heard_[r - 1].insert(id());
   missing_.clear();
@@ -163,18 +192,21 @@ void CrashMultiPeer::start_phase(std::size_t r) {
   try_advance();
 }
 
-void CrashMultiPeer::query_mask(const BitVec& mask) {
+bool CrashMultiPeer::query_mask(const BitVec& mask) {
   BitVec to_query = mask;
   to_query.andnot_with(known_);
   std::vector<std::size_t> idx;
   idx.reserve(to_query.popcount());
   to_query.for_each_set([&](std::size_t b) { idx.push_back(b); });
-  if (idx.empty()) return;
+  if (idx.empty()) return true;
   const BitVec values = query_indices(idx);
   for (std::size_t j = 0; j < idx.size(); ++j) {
     out_.set(idx[j], values.get(j));
     known_.set(idx[j], true);
   }
+  // Single query funnel = single journal funnel: everything this protocol
+  // ever downloads is persisted here, right after it was learned.
+  return journal_indices(idx, values);
 }
 
 void CrashMultiPeer::on_message(sim::PeerId from, const sim::Payload& payload) {
@@ -320,7 +352,7 @@ void CrashMultiPeer::complete_now() {
   // Query whatever is still unknown directly.
   BitVec rest(n(), true);
   rest.andnot_with(known_);
-  query_mask(rest);
+  if (!query_mask(rest)) return;  // killed at a sentinel: no rescue, no finish
   progress_ = Progress::kDone;
   if (!full_sent_) {
     full_sent_ = true;

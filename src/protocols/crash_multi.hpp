@@ -149,6 +149,10 @@ class CrashMultiPeer final : public dr::Peer {
   explicit CrashMultiPeer(Options opts);
 
   void on_start() override;
+  /// Crash-recovery resume: seeds out_/known_ from the replayed journal,
+  /// queries only the still-unknown bits, then pushes the FULL rescue and
+  /// terminates (the other peers may all be done and unable to help).
+  void on_restart(const dr::RecoveryState& state) override;
   [[nodiscard]] std::string status() const override;
 
   /// Phases entered before terminating (diagnostics for benches/tests).
@@ -180,7 +184,10 @@ class CrashMultiPeer final : public dr::Peer {
   [[nodiscard]] bool req1_eligible(const crashm::Req1& req) const;
   [[nodiscard]] bool req2_eligible(const crashm::Req2& req) const;
 
-  void query_mask(const BitVec& mask);
+  /// Queries (and journals) the unknown bits of `mask`. Returns false iff a
+  /// journal crash-point sentinel killed this peer mid-append — the caller
+  /// must stop immediately.
+  bool query_mask(const BitVec& mask);
 
   Options opts_;
   Progress progress_ = Progress::kIdle;

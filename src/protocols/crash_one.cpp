@@ -18,17 +18,50 @@ void CrashOnePeer::on_start() {
   start_phase1();
 }
 
+void CrashOnePeer::on_restart(const dr::RecoveryState& state) {
+  ensure_init();
+  // Reconcile the CRC-verified journal into protocol state: every replayed
+  // interval was queried (and persisted) by a previous incarnation.
+  const dr::JournalReplay& journal = state.journal;
+  for (const Interval& iv : journal.intervals.intervals()) {
+    out_.splice(iv.lo, journal.bits.slice(iv.lo, iv.length()));
+  }
+  known_.unite(journal.intervals);
+  credit_queries_saved(known_.count());
+  begin_phase("recovery");
+  // Resume by querying only the bits the journal does not cover. The other
+  // peers may all have terminated while this one was down, so recovery
+  // cannot wait on anyone: complete directly, then push the full array
+  // (the same completion-mode rescue as phase 2) and terminate.
+  IntervalSet missing = IntervalSet::full(n());
+  missing.subtract(known_);
+  if (!missing.empty()) {
+    const std::vector<std::size_t> idx = missing.to_indices();
+    const BitVec values = query_indices(idx);
+    for (std::size_t j = 0; j < idx.size(); ++j) out_.set(idx[j], values.get(j));
+    known_.unite(missing);
+    if (!journal_indices(idx, values)) return;  // killed at a sentinel again
+  }
+  if (crashed()) return;
+  broadcast(std::make_shared<Stage1>(
+      2, BitChunk::extract(out_, IntervalSet::full(n()))));
+  progress_ = Progress::kDone;
+  finish(out_);
+}
+
 void CrashOnePeer::ensure_init() {
   // Messages may arrive before this peer's (adversary-chosen) start time.
   if (out_.size() != n()) out_ = BitVec(n());
 }
 
 void CrashOnePeer::start_phase1() {
+  if (!journal_checkpoint("phase", 1)) return;  // killed at the sentinel
   const Interval mine = blocks().bounds(id());
   if (mine.length() > 0) {
     const BitVec values = query_range(mine.lo, mine.length());
     out_.splice(mine.lo, values);
     known_.insert(mine.lo, mine.hi);
+    if (!journal_bits(mine.lo, values)) return;  // killed mid-append
   }
   const IntervalSet mine_set = IntervalSet::of(mine.lo, mine.hi);
   coverage_[{1, id()}] = mine_set;
@@ -150,6 +183,7 @@ void CrashOnePeer::enter_phase2() {
                     progress_ == Progress::kPhase1Wait2);
   progress_ = Progress::kPhase2;
   begin_phase("p2:reassign");
+  if (!journal_checkpoint("phase", 2)) return;
   answer_pending_requests();
 
   if (known_.count() == n()) {
@@ -170,6 +204,7 @@ void CrashOnePeer::enter_phase2() {
       const BitVec values = query_indices(idx);
       for (std::size_t j = 0; j < idx.size(); ++j) out_.set(idx[j], values.get(j));
       known_.unite(to_query);
+      if (!journal_indices(idx, values)) return;
     }
     broadcast(std::make_shared<Stage1>(2, BitChunk::extract(out_, share)));
   }

@@ -81,6 +81,10 @@ struct Stage2Resp final : sim::Payload {
 class CrashOnePeer final : public dr::Peer {
  public:
   void on_start() override;
+  /// Crash-recovery resume: seeds out_/known_ from the replayed journal,
+  /// queries only the missing bits, then acts as a completion-mode peer
+  /// (full-array push) so it terminates even if everyone else already has.
+  void on_restart(const dr::RecoveryState& state) override;
 
  protected:
   void on_message(sim::PeerId from, const sim::Payload& payload) override;

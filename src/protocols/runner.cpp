@@ -51,6 +51,40 @@ dr::RunReport run_scenario(const Scenario& scenario) {
       world.set_peer(id, scenario.honest(cfg, id));
     }
   }
+  if (scenario.recovery.enabled()) {
+    world.enable_recovery(
+        [factory = scenario.recovery.factory](const dr::Config& c,
+                                              sim::PeerId id) {
+          return factory(c, id);
+        },
+        scenario.recovery.options);
+    for (const RecoveryPlan::CrashPointKill& kill : scenario.recovery.kills) {
+      world.mark_faulty(kill.peer);  // budget-checked up front
+      world.kill_at_crash_point(kill.peer, kill.point, kill.nth);
+      if (kill.restart_delay >= 0) {
+        world.restart_on_crash(kill.peer, kill.restart_delay);
+      }
+    }
+    dr::JournalStore& store = world.journal_store();
+    for (const RecoveryPlan::Corruption& c : scenario.recovery.corruptions) {
+      world.engine().schedule_at(c.at, [&store, c] {
+        switch (c.mode) {
+          case RecoveryPlan::Corruption::Mode::kTruncateTail:
+            store.truncate_tail(c.peer, c.amount);
+            break;
+          case RecoveryPlan::Corruption::Mode::kFlipBit:
+            store.flip_bit(c.peer, c.amount);
+            break;
+          case RecoveryPlan::Corruption::Mode::kClear:
+            store.clear(c.peer);
+            break;
+        }
+      });
+    }
+  } else {
+    ASYNCDR_EXPECTS_MSG(!scenario.crashes.has_restarts(),
+                        "restart instructions need a recovery factory");
+  }
   scenario.crashes.apply(world);
   for (const auto& [id, t] : scenario.start_times) world.set_start_time(id, t);
 

@@ -40,6 +40,39 @@ using LatencyFactory =
 using StressorFactory =
     std::function<std::unique_ptr<sim::DeliveryStressor>(const dr::Config&)>;
 
+/// Crash-recovery side of a scenario. When `factory` is set the world runs
+/// with enable_recovery: restart instructions in the crash plan become
+/// valid, and the plan below can additionally kill peers at journal
+/// crash-point sentinels and corrupt journals mid-run.
+struct RecoveryPlan {
+  PeerFactory factory;  ///< null = crash-stop world (default)
+  dr::RecoveryOptions options;
+
+  /// Kill `peer` the nth time it hits the given journal sentinel; revive it
+  /// `restart_delay` later (plus backoff/jitter), or leave it dead if the
+  /// delay is negative. The victim counts against the fault budget.
+  struct CrashPointKill {
+    sim::PeerId peer = sim::kNoPeer;
+    dr::CrashPoint point = dr::CrashPoint::kAppendCommit;
+    std::size_t nth = 1;
+    sim::Time restart_delay = 1.0;
+  };
+  std::vector<CrashPointKill> kills;
+
+  /// Journal corruption injected at virtual time `at`: the revived peer
+  /// must detect it and fall back toward cold start without over-claiming.
+  struct Corruption {
+    enum class Mode { kTruncateTail, kFlipBit, kClear };
+    sim::PeerId peer = sim::kNoPeer;
+    Mode mode = Mode::kTruncateTail;
+    std::size_t amount = 0;  ///< bytes to drop / bit index to flip
+    sim::Time at = 0;
+  };
+  std::vector<Corruption> corruptions;
+
+  [[nodiscard]] bool enabled() const { return factory != nullptr; }
+};
+
 /// A complete experiment description.
 struct Scenario {
   dr::Config cfg;
@@ -50,6 +83,7 @@ struct Scenario {
   std::vector<sim::PeerId> byz_ids;
 
   adv::CrashPlan crashes;
+  RecoveryPlan recovery;   ///< crash-recovery model; default: crash-stop
   LatencyFactory latency;  ///< default: seeded UniformLatency
   StressorFactory stressor;  ///< beyond-model; default: none
   std::map<sim::PeerId, sim::Time> start_times;

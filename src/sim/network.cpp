@@ -222,6 +222,11 @@ void Network::crash(PeerId id) {
   crashed_[id] = true;
 }
 
+void Network::revive(PeerId id) {
+  ASYNCDR_EXPECTS(id < k_);
+  crashed_[id] = false;
+}
+
 bool Network::is_crashed(PeerId id) const {
   ASYNCDR_EXPECTS(id < k_);
   return crashed_[id];

@@ -151,6 +151,10 @@ class Network {
 
   /// Marks a peer crashed: it sends and receives nothing from now on.
   void crash(PeerId id);
+  /// Un-crashes a peer (crash-*recovery* worlds revive restarted peers).
+  /// The caller attaches the new incarnation's receiver; messages sent to
+  /// the id while it was down stay lost.
+  void revive(PeerId id);
   [[nodiscard]] bool is_crashed(PeerId id) const;
   [[nodiscard]] std::size_t crashed_count() const;
 

@@ -92,5 +92,69 @@ TEST(CrashPlan, DeterministicForSeed) {
   EXPECT_EQ(plan_a.to_string(), plan_b.to_string());
 }
 
+TEST(CrashPlan, RestartSpecsRenderAndFlag) {
+  CrashPlan plan;
+  plan.add_at_time(3, 1.0);
+  EXPECT_FALSE(plan.has_restarts());
+  plan.add_restart_at(3, 2.5);
+  plan.add_restart_after(4, 1.0);
+  EXPECT_TRUE(plan.has_restarts());
+  EXPECT_NE(plan.to_string().find("p3@restart=2.5"), std::string::npos);
+  EXPECT_NE(plan.to_string().find("p4@restart+1"), std::string::npos);
+}
+
+TEST(CrashPlan, RestartStormCrashesThenRevivesAllVictims) {
+  Rng rng(8);
+  const CrashPlan plan =
+      CrashPlan::restart_storm(cfg(), rng, 3, /*spacing=*/1.0,
+                               /*storm_at=*/5.0, /*window=*/2.0);
+  ASSERT_EQ(plan.size(), 6u);  // 3 crashes + 3 restarts
+  std::set<sim::PeerId> crashed, revived;
+  for (const auto& spec : plan.specs()) {
+    if (spec.kind == CrashSpec::Kind::kAtTime) {
+      crashed.insert(spec.peer);
+      EXPECT_LE(spec.at, 3.0);  // staggered, one per spacing
+    } else {
+      ASSERT_EQ(spec.kind, CrashSpec::Kind::kRestartAfter);
+      revived.insert(spec.peer);
+      EXPECT_GE(spec.at, 5.0);  // the burst starts at storm_at
+      EXPECT_LE(spec.at, 7.0);  // ...and stays inside the window
+    }
+  }
+  EXPECT_EQ(crashed, revived);
+  EXPECT_EQ(crashed.size(), 3u);
+  // The storm must start after the last crash.
+  EXPECT_THROW(CrashPlan::restart_storm(cfg(), rng, 3, 2.0, 5.0, 1.0),
+               contract_violation);
+}
+
+TEST(CrashPlan, FlappingAlternatesKillAndRevivePerCycle) {
+  Rng rng(9);
+  const CrashPlan plan = CrashPlan::flapping(cfg(), rng, /*count=*/2,
+                                             /*cycles=*/3, /*period=*/4.0,
+                                             /*up_delay=*/1.0, /*jitter=*/0.5);
+  ASSERT_EQ(plan.size(), 12u);  // 2 victims x 3 cycles x (kill + revive)
+  for (std::size_t i = 0; i < plan.size(); i += 2) {
+    const CrashSpec& down = plan.specs()[i];
+    const CrashSpec& up = plan.specs()[i + 1];
+    EXPECT_EQ(down.kind, CrashSpec::Kind::kAtTime);
+    EXPECT_EQ(up.kind, CrashSpec::Kind::kRestartAt);
+    EXPECT_EQ(down.peer, up.peer);
+    EXPECT_GT(up.at, down.at);
+    EXPECT_LT(up.at - down.at, 4.0);  // revives before its next kill
+  }
+  // A flap that cannot revive before the next kill is rejected.
+  EXPECT_THROW(CrashPlan::flapping(cfg(), rng, 2, 2, 1.0, 1.0),
+               contract_violation);
+}
+
+TEST(CrashPlan, RestartInstructionsNeedRecoveryEnabledWorld) {
+  dr::World world(cfg(), BitVec(64));
+  CrashPlan plan;
+  plan.add_at_time(0, 1.0);
+  plan.add_restart_after(0, 2.0);
+  EXPECT_THROW(plan.apply(world), contract_violation);
+}
+
 }  // namespace
 }  // namespace asyncdr::adv

@@ -121,6 +121,34 @@ TEST(ChaosRunner, BudgetExhaustionClassifiesAsStallWithDiagnostics) {
       << result.report.stall;
 }
 
+TEST(ChaosRunner, RecoverySweepOverCrashProtocolsIsGreen) {
+  // The recovery chaos campaign CI runs (capped): restarts, crash-point
+  // kills, and journal corruption over both recoverable protocols — every
+  // case must still satisfy the correctness predicate.
+  SweepOptions options;
+  options.protocols = {"crash_one", "crash_multi"};
+  options.seeds = 12;
+  options.threads = 2;
+  options.chaos.n_cap = 512;
+  options.chaos.recovery = true;
+  const SweepReport report = ChaosRunner(options).run();
+  EXPECT_EQ(report.cases, 24u);
+  EXPECT_EQ(report.passed, report.cases) << report.to_string(true);
+  EXPECT_TRUE(report.failures.empty());
+}
+
+TEST(ChaosRunner, RecoverySweepIsDeterministicAcrossThreadCounts) {
+  SweepOptions options;
+  options.protocols = {"crash_multi"};
+  options.seeds = 6;
+  options.chaos.n_cap = 256;
+  options.chaos.recovery = true;
+  options.threads = 1;
+  const std::string serial = ChaosRunner(options).run().to_string(true);
+  options.threads = 4;
+  EXPECT_EQ(serial, ChaosRunner(options).run().to_string(true));
+}
+
 TEST(ChaosRunner, RejectsUnknownProtocolAndEmptyGrid) {
   SweepOptions bad;
   bad.protocols = {"no_such_protocol"};

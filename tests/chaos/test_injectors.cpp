@@ -111,5 +111,62 @@ TEST(ToFlags, RendersTheReproFlags) {
             "--inject-bug committee-threshold");
 }
 
+TEST(ToFlags, RendersTheRecoveryFlag) {
+  ChaosOptions options;
+  options.recovery = true;
+  EXPECT_NE(options.to_flags().find("--recovery 1"), std::string::npos);
+}
+
+TEST(SampleCase, RecoveryOnlyArmsOnRecoverableProfiles) {
+  ChaosOptions options;
+  options.recovery = true;
+  EXPECT_TRUE(profile("crash_one").recoverable);
+  EXPECT_TRUE(profile("crash_multi").recoverable);
+  EXPECT_FALSE(profile("committee").recoverable);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const ChaosCase cs = sample_case(profile("committee"), seed, options);
+    EXPECT_FALSE(cs.scenario.recovery.enabled()) << cs.description;
+    EXPECT_EQ(cs.description.find("recovery{"), std::string::npos);
+  }
+}
+
+TEST(SampleCase, RecoveryCasesGetAFactoryAndDropTheBounds) {
+  ChaosOptions options;
+  options.recovery = true;
+  std::size_t with_restarts = 0, with_kills = 0, with_corruption = 0;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const ChaosCase cs =
+        sample_case(profile("crash_multi"), seed, options);
+    EXPECT_TRUE(cs.scenario.recovery.enabled()) << cs.description;
+    EXPECT_NE(cs.description.find("recovery{"), std::string::npos);
+    // Complexity bounds assume crash-stop: recovery cases keep only the
+    // correctness predicate.
+    EXPECT_EQ(cs.q_bound, 0u);
+    EXPECT_EQ(cs.m_bound, 0u);
+    EXPECT_DOUBLE_EQ(cs.t_bound, 0.0);
+    EXPECT_LE(cs.faults, cs.cfg.max_faulty()) << cs.description;
+    if (cs.scenario.crashes.has_restarts()) ++with_restarts;
+    if (!cs.scenario.recovery.kills.empty()) ++with_kills;
+    if (!cs.scenario.recovery.corruptions.empty()) ++with_corruption;
+  }
+  // The sampler exercises every recovery flavour across a modest sweep.
+  EXPECT_GT(with_restarts, 0u);
+  EXPECT_GT(with_kills, 0u);
+  EXPECT_GT(with_corruption, 0u);
+}
+
+TEST(SampleCase, RecoverySamplingStaysDeterministic) {
+  ChaosOptions options;
+  options.recovery = true;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const ChaosCase a = sample_case(profile("crash_one"), seed, options);
+    const ChaosCase b = sample_case(profile("crash_one"), seed, options);
+    EXPECT_EQ(a.description, b.description);
+    EXPECT_EQ(a.scenario.recovery.kills.size(),
+              b.scenario.recovery.kills.size());
+    EXPECT_EQ(a.scenario.crashes.to_string(), b.scenario.crashes.to_string());
+  }
+}
+
 }  // namespace
 }  // namespace asyncdr::chaos

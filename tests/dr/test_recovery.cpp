@@ -1,0 +1,264 @@
+// Crash-recovery invariants: a revived peer replays its journal, resumes
+// querying only what it cannot prove, and NEVER claims a bit it did not
+// durably download (checked against the source's own query accounting) —
+// for every crash-point sentinel, and under journal loss/corruption.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "adversary/crash_plan.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "dr/journal.hpp"
+#include "dr/world.hpp"
+#include "protocols/runner.hpp"
+
+namespace asyncdr {
+namespace {
+
+using proto::RecoveryPlan;
+using proto::Scenario;
+
+dr::Config cfg_multi(std::uint64_t seed) {
+  return dr::Config{
+      .n = 1024, .k = 8, .beta = 0.5, .message_bits = 64, .seed = seed};
+}
+
+dr::Config cfg_one(std::uint64_t seed) {
+  return dr::Config{
+      .n = 512, .k = 8, .beta = 1.0 / 8, .message_bits = 64, .seed = seed};
+}
+
+TEST(Recovery, CrashOneWarmRestartRecovers) {
+  Scenario s;
+  s.cfg = cfg_one(11);
+  s.honest = proto::make_crash_one();
+  s.recovery.factory = proto::make_crash_one();
+  s.crashes.add_at_time(3, 2.5);
+  // The delay is measured from t=0; 3.0 + backoff lands safely after the
+  // crash at 2.5 (a restart firing while the peer is still up is a no-op).
+  s.crashes.add_restart_after(3, 3.0);
+  const dr::RunReport r = proto::run_scenario(s);
+  EXPECT_TRUE(r.ok()) << r.to_string();
+  EXPECT_EQ(r.recovery.restarts, 1u);
+  EXPECT_EQ(r.recovery.journal_replays, 1u);
+  EXPECT_EQ(r.recovery.cold_fallbacks, 0u);
+  EXPECT_GT(r.recovery.bits_recovered, 0u);
+  EXPECT_GT(r.recovery.queries_saved, 0u);
+}
+
+TEST(Recovery, CrashMultiWarmRestartRecovers) {
+  Scenario s;
+  s.cfg = cfg_multi(12);
+  s.honest = proto::make_crash_multi();
+  s.recovery.factory = proto::make_crash_multi();
+  s.crashes.add_at_time(5, 1.5);
+  s.crashes.add_restart_after(5, 2.0);
+  const dr::RunReport r = proto::run_scenario(s);
+  EXPECT_TRUE(r.ok()) << r.to_string();
+  EXPECT_EQ(r.recovery.restarts, 1u);
+  EXPECT_EQ(r.recovery.journal_replays, 1u);
+  EXPECT_GT(r.recovery.queries_saved, 0u);
+}
+
+// The acceptance invariant: killed at ANY journal sentinel, the revived
+// peer's replayed claim is a subset of what it actually queried from the
+// source — no over-claim, at the exact granularity the theorems count.
+TEST(Recovery, NoOverClaimAtAnyCrashPoint) {
+  const dr::CrashPoint points[] = {
+      dr::CrashPoint::kAppendStart, dr::CrashPoint::kMidRecord,
+      dr::CrashPoint::kAppendCommit, dr::CrashPoint::kCheckpoint};
+  for (const dr::CrashPoint point : points) {
+    Scenario s;
+    s.cfg = cfg_multi(13);
+    s.honest = proto::make_crash_multi();
+    s.recovery.factory = proto::make_crash_multi();
+    RecoveryPlan::CrashPointKill kill;
+    kill.peer = 2;
+    kill.point = point;
+    kill.restart_delay = 1.0;
+    s.recovery.kills.push_back(kill);
+    s.instrument = [](dr::World& w) {
+      // asyncdr-lint: allow(DR003) test harness checking query accounting
+      w.source().enable_index_recording(true);
+    };
+    bool checked = false;
+    s.post_run = [&](dr::World& w, const dr::RunReport& r) {
+      const dr::JournalReplay replay =
+          dr::Journal::replay(w.journal_store().log(2), w.config().n);
+      IntervalSet claimed = replay.intervals;
+      claimed.subtract(w.source().queried_indices(2));
+      EXPECT_TRUE(claimed.empty())
+          << "over-claim at " << dr::to_string(point) << ": "
+          << claimed.to_string();
+      checked = true;
+      EXPECT_TRUE(r.ok()) << dr::to_string(point) << ": " << r.to_string();
+    };
+    const dr::RunReport r = proto::run_scenario(s);
+    EXPECT_TRUE(checked);
+    EXPECT_EQ(r.recovery.restarts, 1u) << dr::to_string(point);
+  }
+}
+
+// The A/B behind BENCH_recovery.json: identical crash/restart schedule,
+// only the journal replay differs — warm must issue strictly fewer queries.
+TEST(Recovery, WarmIssuesStrictlyFewerQueriesThanCold) {
+  const auto run = [](bool cold) {
+    Scenario s;
+    s.cfg = cfg_multi(14);
+    s.honest = proto::make_crash_multi();
+    s.recovery.factory = proto::make_crash_multi();
+    s.recovery.options.cold_restart = cold;
+    s.crashes.add_at_time(1, 1.0);
+    s.crashes.add_at_time(6, 2.0);
+    s.crashes.add_restart_after(1, 4.0);
+    s.crashes.add_restart_after(6, 5.0);
+    return proto::run_scenario(s);
+  };
+  const dr::RunReport warm = run(false);
+  const dr::RunReport cold = run(true);
+  ASSERT_TRUE(warm.ok()) << warm.to_string();
+  ASSERT_TRUE(cold.ok()) << cold.to_string();
+  EXPECT_LT(warm.query_complexity, cold.query_complexity);
+  EXPECT_LT(warm.total_queries, cold.total_queries);
+  EXPECT_GT(warm.recovery.queries_saved, 0u);
+  EXPECT_EQ(cold.recovery.queries_saved, 0u);
+  EXPECT_GT(warm.recovery.journal_replays, 0u);
+  EXPECT_EQ(cold.recovery.journal_replays, 0u);
+  EXPECT_EQ(cold.recovery.cold_fallbacks, 2u);
+}
+
+TEST(Recovery, BackoffIsCappedExponential) {
+  dr::RecoveryOptions o;
+  o.base_delay = 0.5;
+  o.backoff_factor = 2.0;
+  o.max_delay = 8.0;
+  EXPECT_DOUBLE_EQ(o.backoff(0), 0.5);
+  EXPECT_DOUBLE_EQ(o.backoff(1), 1.0);
+  EXPECT_DOUBLE_EQ(o.backoff(3), 4.0);
+  EXPECT_DOUBLE_EQ(o.backoff(4), 8.0);   // hits the cap exactly
+  EXPECT_DOUBLE_EQ(o.backoff(20), 8.0);  // and stays there
+}
+
+TEST(Recovery, FlappingPeerConverges) {
+  Scenario s;
+  s.cfg = cfg_multi(15);
+  s.honest = proto::make_crash_multi();
+  s.recovery.factory = proto::make_crash_multi();
+  Rng rng(99);
+  s.crashes = adv::CrashPlan::flapping(s.cfg, rng, /*count=*/1, /*cycles=*/2,
+                                       /*period=*/6.0, /*up_delay=*/1.5,
+                                       /*jitter=*/0.5);
+  const dr::RunReport r = proto::run_scenario(s);
+  EXPECT_TRUE(r.ok()) << r.to_string();
+  EXPECT_EQ(r.recovery.restarts, 2u);
+  // The second resume replays a journal that already covers the array.
+  EXPECT_GT(r.recovery.queries_saved, r.recovery.bits_recovered / 2);
+}
+
+TEST(Recovery, RestartStormAllRevivedPeersFinish) {
+  Scenario s;
+  s.cfg = cfg_multi(16);
+  s.honest = proto::make_crash_multi();
+  s.recovery.factory = proto::make_crash_multi();
+  Rng rng(7);
+  s.crashes = adv::CrashPlan::restart_storm(s.cfg, rng, /*count=*/4,
+                                            /*spacing=*/1.0, /*storm_at=*/6.0,
+                                            /*window=*/1.0);
+  const dr::RunReport r = proto::run_scenario(s);
+  EXPECT_TRUE(r.ok()) << r.to_string();
+  EXPECT_EQ(r.recovery.restarts, 4u);
+  EXPECT_TRUE(r.unterminated_peers.empty());
+}
+
+TEST(Recovery, ClearedJournalFallsBackColdAndStaysSafe) {
+  Scenario s;
+  s.cfg = cfg_multi(17);
+  s.honest = proto::make_crash_multi();
+  s.recovery.factory = proto::make_crash_multi();
+  s.crashes.add_at_time(4, 1.0);
+  s.crashes.add_restart_after(4, 3.0);
+  RecoveryPlan::Corruption c;
+  c.peer = 4;
+  c.mode = RecoveryPlan::Corruption::Mode::kClear;
+  c.at = 1.1;
+  s.recovery.corruptions.push_back(c);
+  const dr::RunReport r = proto::run_scenario(s);
+  EXPECT_TRUE(r.ok()) << r.to_string();
+  EXPECT_EQ(r.recovery.cold_fallbacks, 1u);
+  EXPECT_EQ(r.recovery.queries_saved, 0u);
+}
+
+TEST(Recovery, TruncatedJournalIsDetectedAndStaysSafe) {
+  Scenario s;
+  s.cfg = cfg_multi(18);
+  s.honest = proto::make_crash_multi();
+  s.recovery.factory = proto::make_crash_multi();
+  s.crashes.add_at_time(4, 1.0);
+  s.crashes.add_restart_after(4, 3.0);
+  RecoveryPlan::Corruption c;
+  c.peer = 4;
+  c.mode = RecoveryPlan::Corruption::Mode::kTruncateTail;
+  c.amount = 3;  // rip through the last record's CRC
+  c.at = 1.1;
+  s.recovery.corruptions.push_back(c);
+  s.instrument = [](dr::World& w) {
+    // asyncdr-lint: allow(DR003) test harness checking query accounting
+    w.source().enable_index_recording(true);
+  };
+  s.post_run = [](dr::World& w, const dr::RunReport&) {
+    const dr::JournalReplay replay =
+        dr::Journal::replay(w.journal_store().log(4), w.config().n);
+    IntervalSet claimed = replay.intervals;
+    claimed.subtract(w.source().queried_indices(4));
+    EXPECT_TRUE(claimed.empty()) << claimed.to_string();
+  };
+  const dr::RunReport r = proto::run_scenario(s);
+  EXPECT_TRUE(r.ok()) << r.to_string();
+  EXPECT_EQ(r.recovery.torn_tails, 1u);
+}
+
+TEST(Recovery, MaxRestartsZeroLeavesPeerDead) {
+  Scenario s;
+  s.cfg = cfg_multi(19);
+  s.honest = proto::make_crash_multi();
+  s.recovery.factory = proto::make_crash_multi();
+  s.recovery.options.max_restarts = 0;
+  s.crashes.add_at_time(2, 1.0);
+  s.crashes.add_restart_after(2, 1.0);
+  const dr::RunReport r = proto::run_scenario(s);
+  EXPECT_TRUE(r.ok()) << r.to_string();  // peer 2 is faulty; staying dead is fine
+  EXPECT_EQ(r.recovery.restarts, 0u);
+}
+
+TEST(Recovery, RestartInstructionsRequireRecoveryFactory) {
+  Scenario s;
+  s.cfg = cfg_multi(20);
+  s.honest = proto::make_crash_multi();
+  s.crashes.add_at_time(2, 1.0);
+  s.crashes.add_restart_after(2, 1.0);  // but no s.recovery.factory
+  EXPECT_THROW((void)proto::run_scenario(s), contract_violation);
+}
+
+TEST(Recovery, DeterministicAcrossRuns) {
+  const auto run = [] {
+    Scenario s;
+    s.cfg = cfg_multi(21);
+    s.honest = proto::make_crash_multi();
+    s.recovery.factory = proto::make_crash_multi();
+    Rng rng(5);
+    s.crashes = adv::CrashPlan::restart_storm(s.cfg, rng, 3, 1.0, 5.0, 1.5);
+    return proto::run_scenario(s);
+  };
+  const dr::RunReport a = run();
+  const dr::RunReport b = run();
+  EXPECT_EQ(a.query_complexity, b.query_complexity);
+  EXPECT_DOUBLE_EQ(a.time_complexity, b.time_complexity);
+  EXPECT_EQ(a.message_complexity, b.message_complexity);
+  EXPECT_EQ(a.recovery.queries_saved, b.recovery.queries_saved);
+  EXPECT_EQ(a.recovery.bits_recovered, b.recovery.bits_recovered);
+}
+
+}  // namespace
+}  // namespace asyncdr

@@ -452,6 +452,25 @@ RULES = [
             include_dirs=("src",),
             exempt_globs=("src/chaos/*", "src/common/threads.*")),
     ),
+    Rule(
+        "DR011", "persistence-outside-journal",
+        "No direct filesystem or stream persistence in src/ outside "
+        "dr::Journal (src/dr/journal.*).",
+        "Crash-recovery durability flows through the dr::Journal write-ahead "
+        "log, whose backing store is sim-owned and deterministic. An ad-hoc "
+        "fstream or fopen in model code introduces ambient filesystem state "
+        "the seed does not control: restarts would replay host files instead "
+        "of the journal, and chaos repros would stop being pure functions of "
+        "(config, seed). Bench and CLI layers write reports freely — the "
+        "rule guards src/ only.",
+        regex_rule(
+            "DR011",
+            r"std::(o|i|w)?fstream\b|\bstd::filesystem\b"
+            r"|\b(fopen|freopen|fwrite|fread|tmpfile|mkstemp)\s*\(",
+            "direct persistence '{match}' outside dr::Journal",
+            include_dirs=("src",),
+            exempt_globs=("src/dr/journal.*",)),
+    ),
 ]
 
 

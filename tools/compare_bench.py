@@ -22,7 +22,12 @@ import argparse
 import json
 import sys
 
-METRICS = ("q_mean", "t_mean", "m_mean")
+# Complexity means plus the crash-recovery counters bench_recovery records
+# (restart/replay counts and the warm-restart savings). A metric is compared
+# only when both files carry it, so baselines written before a metric existed
+# keep working and new metrics land with their PR.
+METRICS = ("q_mean", "t_mean", "m_mean", "restarts_mean", "replays_mean",
+           "cold_fallbacks_mean", "bits_recovered_mean", "queries_saved_mean")
 
 
 def load(path):

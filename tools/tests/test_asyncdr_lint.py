@@ -235,6 +235,47 @@ class RuleDetection(TreeCase):
         status, out = self.lint()
         self.assertEqual(status, 0, out)
 
+    def test_dr011_fstream_in_model_code(self):
+        self.write("src/dr/world.cpp",
+                   "namespace asyncdr {\n"
+                   'std::ofstream log("state.bin");\n}\n')
+        status, out = self.lint()
+        self.assertEqual(status, 1)
+        self.assertIn("DR011", out)
+
+    def test_dr011_fopen_and_filesystem(self):
+        self.write("src/protocols/p.cpp",
+                   "namespace asyncdr {\n"
+                   'FILE* f = fopen("x", "wb");\n'
+                   'bool e = std::filesystem::exists("x");\n}\n')
+        status, out = self.lint()
+        self.assertEqual(status, 1)
+        self.assertIn("p.cpp:2", out)
+        self.assertIn("p.cpp:3", out)
+
+    def test_dr011_journal_exempt(self):
+        self.write("src/dr/journal.cpp",
+                   "namespace asyncdr {\n"
+                   'std::fstream backing("journal.bin");\n}\n')
+        status, out = self.lint()
+        self.assertEqual(status, 0, out)
+
+    def test_dr011_bench_and_examples_exempt(self):
+        self.write("bench/b.cpp",
+                   "namespace asyncdr {\n"
+                   'std::ofstream out("BENCH_x.json");\n}\n')
+        self.write("examples/cli.cpp",
+                   'int main() { std::ofstream f("report.json"); }\n')
+        status, out = self.lint()
+        self.assertEqual(status, 0, out)
+
+    def test_dr011_identifiers_containing_fopen_ok(self):
+        self.write("src/dr/p.cpp",
+                   "namespace asyncdr {\n"
+                   "int reopened = count_reopened();\n}\n")
+        status, out = self.lint()
+        self.assertEqual(status, 0, out)
+
 
 class Suppressions(TreeCase):
     def test_same_line_allow(self):
@@ -389,6 +430,16 @@ class SeededRegressionOnRealTree(unittest.TestCase):
         status, out = run_lint("--root", self.root, "--no-baseline")
         self.assertEqual(status, 1)
         self.assertIn("DR003", out)
+
+    def test_injected_ad_hoc_persistence_is_caught(self):
+        victim = os.path.join(self.root, "src", "protocols", "crash_multi.cpp")
+        with open(victim, "a", encoding="utf-8") as f:
+            f.write("\nnamespace asyncdr::proto {\nvoid persist() "
+                    '{ std::ofstream f("peer_state.bin"); }\n}\n')
+        status, out = run_lint("--root", self.root, "--no-baseline")
+        self.assertEqual(status, 1)
+        self.assertIn("DR011", out)
+        self.assertIn("crash_multi.cpp", out)
 
 
 if __name__ == "__main__":

@@ -153,6 +153,36 @@ class CompareBenchTest(unittest.TestCase):
         self.assertEqual(code, 0, out)
         self.assertIn("compared 1 metric(s)", out)
 
+    def test_recovery_metrics_are_compared_when_present_in_both(self):
+        # bench_recovery entries carry recovery counters instead of q/t/m;
+        # the comparator diffs them like any other metric.
+        def rec(saved):
+            return {"section": "R2", "label": "crashes=4 warm recovery",
+                    "restarts_mean": 4.0, "replays_mean": 4.0,
+                    "cold_fallbacks_mean": 0.0, "bits_recovered_mean": 2048.0,
+                    "queries_saved_mean": saved}
+        base = self.path("base.json", bench_doc([rec(2048.0)]))
+        fresh = self.path("fresh.json", bench_doc([rec(100.0)]))
+        code, out, _ = self.run_tool(base, fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("queries_saved_mean", out)
+        # Within tolerance passes, and all five counters are compared.
+        fresh_ok = self.path("fresh_ok.json", bench_doc([rec(2000.0)]))
+        code, out, _ = self.run_tool(base, fresh_ok)
+        self.assertEqual(code, 0, out)
+        self.assertIn("compared 5 metric(s)", out)
+
+    def test_recovery_metrics_absent_from_old_baselines_are_skipped(self):
+        # A baseline written before the recovery counters existed must keep
+        # passing against an enriched fresh entry (and vice versa).
+        enriched = entry(q=100.0)
+        enriched.update({"queries_saved_mean": 512.0, "replays_mean": 1.0})
+        base = self.path("base.json", bench_doc([entry(q=100.0)]))
+        fresh = self.path("fresh.json", bench_doc([enriched]))
+        code, out, _ = self.run_tool(base, fresh)
+        self.assertEqual(code, 0, out)
+        self.assertIn("0 problem(s)", out)
+
     def test_malformed_json_is_usage_error(self):
         base = self.path("base.json", "{not json")
         fresh = self.path("fresh.json", bench_doc([entry()]))

@@ -6,8 +6,8 @@ find_package(benchmark REQUIRED)
 function(asyncdr_bench name)
   add_executable(${name} ${ARGN})
   target_link_libraries(${name} PRIVATE
-    asyncdr_oracle asyncdr_protocols asyncdr_adversary asyncdr_obs
-    asyncdr_dr asyncdr_sim asyncdr_common)
+    asyncdr_oracle asyncdr_campaign asyncdr_protocols asyncdr_adversary
+    asyncdr_obs asyncdr_dr asyncdr_sim asyncdr_common)
   target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/src ${CMAKE_SOURCE_DIR}/bench)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

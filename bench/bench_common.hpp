@@ -5,10 +5,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "campaign/runner.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "obs/json.hpp"
@@ -111,6 +115,70 @@ inline std::string critpath_cell(const RepeatStats& stats) {
   return buf;
 }
 
+/// One grid point of a bench campaign: a ready-to-run scenario builder plus
+/// the (section, label) identity its result aggregates under.
+struct BenchPoint {
+  std::string section;
+  std::string label;
+  std::uint64_t seed = 0;
+  std::function<proto::Scenario()> build;
+};
+
+/// Resolves a bench binary's campaign telemetry from its argv: the JSONL
+/// event stream (bench_<name>.events.jsonl) and campaign summary
+/// (CAMPAIGN_<name>.json) land next to the BENCH json in $ASYNCDR_BENCH_DIR;
+/// `--progress 1` turns on the live progress line, `--timing 1` adds the
+/// machine-dependent timing section to the summary.
+inline campaign::TelemetryOptions bench_telemetry(const std::string& name,
+                                                  int argc, char** argv) {
+  campaign::TelemetryOptions t;
+  const char* dir = std::getenv("ASYNCDR_BENCH_DIR");
+  const std::string base = dir != nullptr && *dir != '\0' ? dir : ".";
+  t.events_path = base + "/bench_" + name + ".events.jsonl";
+  t.summary_path = base + "/CAMPAIGN_" + name + ".json";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--progress") == 0) {
+      t.progress = std::strtoul(argv[i + 1], nullptr, 10) != 0;
+    } else if (std::strcmp(argv[i], "--timing") == 0) {
+      t.include_timing = std::strtoul(argv[i + 1], nullptr, 10) != 0;
+    }
+  }
+  return t;
+}
+
+/// Runs a bench grid over the campaign substrate and returns the reports in
+/// grid order. `threads` follows common/threads semantics (0 = auto with
+/// the ASYNCDR_THREADS override); pass 1 when points must run in grid order
+/// (e.g. per-point RSS accounting). The campaign summary groups runs by
+/// "section/label".
+inline std::vector<dr::RunReport> run_bench_campaign(
+    const std::string& name, const std::vector<BenchPoint>& grid,
+    const campaign::TelemetryOptions& telemetry, std::size_t threads = 0) {
+  campaign::CampaignOptions copts;
+  copts.name = name;
+  copts.total = grid.size();
+  copts.threads = threads;
+  copts.seed_base = grid.empty() ? 1 : grid.front().seed;
+  copts.seed_fn = [&grid](std::size_t i) { return grid[i].seed; };
+  copts.telemetry = telemetry;
+  campaign::Campaign camp(std::move(copts));
+  std::vector<dr::RunReport> reports(grid.size());
+  camp.run([&](std::size_t i, std::uint64_t) {
+    proto::Scenario s = grid[i].build();
+    dr::RunReport report = proto::run_scenario(s);
+    campaign::RunOutcome out;
+    out.label = grid[i].section + "/" + grid[i].label;
+    out.status =
+        report.ok() ? obs::RunStatus::kOk : obs::RunStatus::kFailed;
+    if (!report.ok()) out.detail = "run failed (predicate or budget)";
+    out.report = report;
+    reports[i] = std::move(report);
+    return out;
+  });
+  camp.finish();
+  return reports;
+}
+
 /// Machine-readable twin of the printed tables: every bench records its
 /// (section, label) data points here and the destructor writes
 /// BENCH_<name>.json (schema asyncdr-bench-v1) into $ASYNCDR_BENCH_DIR, or
@@ -137,13 +205,30 @@ class BenchJson {
     e["label"] = label;
     e["runs"] = static_cast<std::uint64_t>(stats.runs);
     e["failures"] = static_cast<std::uint64_t>(stats.failures);
+    // Mean/min/max plus exact (linear-interpolated) distribution
+    // percentiles, so the committed baselines pin tail behaviour, not just
+    // the centre. compare_bench.py diffs the p50/p90/p99 fields with wider
+    // per-metric tolerances than the means.
     if (!stats.q.empty()) {
       e["q_mean"] = stats.q.mean();
       e["q_min"] = stats.q.min();
       e["q_max"] = stats.q.max();
+      e["q_p50"] = stats.q.percentile(50);
+      e["q_p90"] = stats.q.percentile(90);
+      e["q_p99"] = stats.q.percentile(99);
     }
-    if (!stats.t.empty()) e["t_mean"] = stats.t.mean();
-    if (!stats.m.empty()) e["m_mean"] = stats.m.mean();
+    if (!stats.t.empty()) {
+      e["t_mean"] = stats.t.mean();
+      e["t_p50"] = stats.t.percentile(50);
+      e["t_p90"] = stats.t.percentile(90);
+      e["t_p99"] = stats.t.percentile(99);
+    }
+    if (!stats.m.empty()) {
+      e["m_mean"] = stats.m.mean();
+      e["m_p50"] = stats.m.percentile(50);
+      e["m_p90"] = stats.m.percentile(90);
+      e["m_p99"] = stats.m.percentile(99);
+    }
     // Optional critical-path fields (repeat_runs_critpath callers only).
     // compare_bench.py diffs q/t/m means and ignores extra fields, so these
     // ride along without perturbing baseline comparisons.

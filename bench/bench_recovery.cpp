@@ -12,6 +12,13 @@
 // Warm and cold share ALL machinery (same crash schedule, same restart
 // path); RecoveryOptions::cold_restart only makes the replay see an empty
 // log. Any Q difference is therefore exactly the journal's contribution.
+//
+// The whole R1/R2/R3 grid is declared up front and fanned over the campaign
+// substrate (every run is an independent world), then folded back per
+// (section, label) in grid order — the aggregates are identical to the old
+// serial repeat loops, but the sweep parallelises and ships campaign
+// telemetry (bench_recovery.events.jsonl + CAMPAIGN_recovery.json in
+// $ASYNCDR_BENCH_DIR; --progress 1 for the live line).
 #include "bench_common.hpp"
 
 using namespace asyncdr;
@@ -21,18 +28,22 @@ using namespace asyncdr::proto;
 namespace {
 constexpr std::size_t kRepeats = 5;
 
-/// repeat_runs plus the RunReport::recovery counters.
+/// RepeatStats plus the RunReport::recovery counters.
 struct RecoveryAgg {
   RepeatStats base;
   Summary restarts, replays, cold_falls, recovered, saved;
 };
 
-template <typename ScenarioBuilder>
-RecoveryAgg repeat_recovery(std::size_t repeats, ScenarioBuilder&& build) {
+/// Folds every grid point matching (section, label), in grid order — the
+/// same accumulation order as the old sequential repeat loop, so the
+/// emitted means are bit-identical to the serial bench.
+RecoveryAgg fold(const std::vector<BenchPoint>& grid,
+                 const std::vector<dr::RunReport>& reports,
+                 const std::string& section, const std::string& label) {
   RecoveryAgg agg;
-  for (std::size_t rep = 0; rep < repeats; ++rep) {
-    proto::Scenario s = build(rep);
-    const dr::RunReport report = proto::run_scenario(s);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (grid[i].section != section || grid[i].label != label) continue;
+    const dr::RunReport& report = reports[i];
     ++agg.base.runs;
     if (!report.ok()) {
       ++agg.base.failures;
@@ -62,31 +73,91 @@ void record(BenchJson& bj, const std::string& section,
                     {"queries_saved_mean", agg.saved.mean()}});
 }
 
+Scenario r1_scenario(bool cold, std::size_t rep) {
+  Scenario s;
+  s.cfg = dr::Config{.n = 1 << 14, .k = 16, .beta = 1.0 / 16,
+                     .message_bits = 1024, .seed = 500 + rep};
+  s.honest = make_crash_one();
+  s.recovery.factory = make_crash_one();
+  s.recovery.options.cold_restart = cold;
+  const sim::PeerId victim = rep % 16;
+  s.crashes.add_at_time(victim, 2.5);
+  s.crashes.add_restart_after(victim, 3.0);
+  return s;
+}
+
+Scenario r2_scenario(std::size_t crashes, bool cold, std::size_t rep) {
+  Scenario s;
+  s.cfg = dr::Config{.n = 1 << 14, .k = 16, .beta = 0.5,
+                     .message_bits = 1024, .seed = 600 + rep};
+  s.honest = make_crash_multi();
+  s.recovery.factory = make_crash_multi();
+  s.recovery.options.cold_restart = cold;
+  Rng rng(rep * 17 + crashes);
+  s.crashes = adv::CrashPlan::restart_storm(
+      s.cfg, rng, crashes, /*spacing=*/1.0,
+      /*storm_at=*/static_cast<sim::Time>(crashes) + 2.0,
+      /*window=*/2.0);
+  return s;
+}
+
+Scenario r3_scenario(std::size_t rep) {
+  Scenario s;
+  s.cfg = dr::Config{.n = 1 << 14, .k = 16, .beta = 0.5,
+                     .message_bits = 1024, .seed = 700 + rep};
+  s.honest = make_crash_multi();
+  s.recovery.factory = make_crash_multi();
+  Rng rng(rep * 29 + 3);
+  s.crashes = adv::CrashPlan::flapping(s.cfg, rng, /*count=*/2,
+                                       /*cycles=*/2, /*period=*/6.0,
+                                       /*up_delay=*/1.5, /*jitter=*/0.5);
+  return s;
+}
+
+constexpr std::size_t kStormCounts[] = {2, 4, 8};
+
+std::string r2_label(std::size_t crashes, bool cold) {
+  return "crashes=" + std::to_string(crashes) + (cold ? " cold" : " warm");
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   banner("Recovery — warm (journal) vs cold restart",
          "a revived peer re-queries only the bits its journal cannot prove");
   BenchJson bj("recovery");
+
+  std::vector<BenchPoint> grid;
+  for (const bool cold : {false, true}) {
+    for (std::size_t rep = 0; rep < kRepeats; ++rep) {
+      grid.push_back({"R1", cold ? "cold" : "warm", 500 + rep,
+                      [cold, rep] { return r1_scenario(cold, rep); }});
+    }
+  }
+  for (const std::size_t crashes : kStormCounts) {
+    for (const bool cold : {false, true}) {
+      for (std::size_t rep = 0; rep < kRepeats; ++rep) {
+        grid.push_back(
+            {"R2", r2_label(crashes, cold), 600 + rep,
+             [crashes, cold, rep] { return r2_scenario(crashes, cold, rep); }});
+      }
+    }
+  }
+  for (std::size_t rep = 0; rep < kRepeats; ++rep) {
+    grid.push_back(
+        {"R3", "flapping warm", 700 + rep, [rep] { return r3_scenario(rep); }});
+  }
+
+  const std::vector<dr::RunReport> reports = run_bench_campaign(
+      "recovery", grid, bench_telemetry("recovery", argc, argv));
 
   section("R1: Algorithm 1, one crash at t=2.5 + restart, n=16384, k=16");
   {
     Table table({"restart", "Q", "T", "M", "bits recovered", "Q saved",
                  "fails"});
     for (const bool cold : {false, true}) {
-      const auto agg = repeat_recovery(kRepeats, [&](std::size_t rep) {
-        Scenario s;
-        s.cfg = dr::Config{.n = 1 << 14, .k = 16, .beta = 1.0 / 16,
-                           .message_bits = 1024, .seed = 500 + rep};
-        s.honest = make_crash_one();
-        s.recovery.factory = make_crash_one();
-        s.recovery.options.cold_restart = cold;
-        const sim::PeerId victim = rep % 16;
-        s.crashes.add_at_time(victim, 2.5);
-        s.crashes.add_restart_after(victim, 3.0);
-        return s;
-      });
       const std::string label = cold ? "cold" : "warm";
+      const RecoveryAgg agg = fold(grid, reports, "R1", label);
       table.add(label, mean_cell(agg.base.q), mean_cell(agg.base.t),
                 mean_cell(agg.base.m), mean_cell(agg.recovered),
                 mean_cell(agg.saved), agg.base.failures);
@@ -99,25 +170,10 @@ int main() {
           "beta=0.5");
   {
     Table table({"crashes", "restart", "Q", "T", "M", "Q saved", "fails"});
-    for (const std::size_t crashes : {std::size_t{2}, std::size_t{4},
-                                      std::size_t{8}}) {
+    for (const std::size_t crashes : kStormCounts) {
       for (const bool cold : {false, true}) {
-        const auto agg = repeat_recovery(kRepeats, [&](std::size_t rep) {
-          Scenario s;
-          s.cfg = dr::Config{.n = 1 << 14, .k = 16, .beta = 0.5,
-                             .message_bits = 1024, .seed = 600 + rep};
-          s.honest = make_crash_multi();
-          s.recovery.factory = make_crash_multi();
-          s.recovery.options.cold_restart = cold;
-          Rng rng(rep * 17 + crashes);
-          s.crashes = adv::CrashPlan::restart_storm(
-              s.cfg, rng, crashes, /*spacing=*/1.0,
-              /*storm_at=*/static_cast<sim::Time>(crashes) + 2.0,
-              /*window=*/2.0);
-          return s;
-        });
-        const std::string label = "crashes=" + std::to_string(crashes) +
-                                  (cold ? " cold" : " warm");
+        const std::string label = r2_label(crashes, cold);
+        const RecoveryAgg agg = fold(grid, reports, "R2", label);
         table.add(crashes, cold ? "cold" : "warm", mean_cell(agg.base.q),
                   mean_cell(agg.base.t), mean_cell(agg.base.m),
                   mean_cell(agg.saved), agg.base.failures);
@@ -132,18 +188,7 @@ int main() {
   section("R3: flapping (2 peers x 2 cycles), warm, n=16384, k=16, beta=0.5");
   {
     Table table({"restart", "Q", "T", "restarts", "Q saved", "fails"});
-    const auto agg = repeat_recovery(kRepeats, [&](std::size_t rep) {
-      Scenario s;
-      s.cfg = dr::Config{.n = 1 << 14, .k = 16, .beta = 0.5,
-                         .message_bits = 1024, .seed = 700 + rep};
-      s.honest = make_crash_multi();
-      s.recovery.factory = make_crash_multi();
-      Rng rng(rep * 29 + 3);
-      s.crashes = adv::CrashPlan::flapping(s.cfg, rng, /*count=*/2,
-                                           /*cycles=*/2, /*period=*/6.0,
-                                           /*up_delay=*/1.5, /*jitter=*/0.5);
-      return s;
-    });
+    const RecoveryAgg agg = fold(grid, reports, "R3", "flapping warm");
     table.add("warm", mean_cell(agg.base.q), mean_cell(agg.base.t),
               mean_cell(agg.restarts), mean_cell(agg.saved),
               agg.base.failures);

@@ -39,6 +39,7 @@ struct ScalePoint {
   dr::RunReport report;
   double wall_ms = 0;
   double active_links = 0;
+  double rss_mb = 0;  ///< per-point VmHWM, read right after the run
 };
 
 /// Resets the kernel's resident-set high-water mark (Linux: "5" into
@@ -121,33 +122,94 @@ std::size_t max_k_cap() {
   return static_cast<std::size_t>(std::strtoull(cap, nullptr, 10));
 }
 
+/// One sweep point as the campaign sees it.
+struct GridEntry {
+  std::string section;
+  std::string label;
+  std::size_t k = 0;
+  std::uint64_t seed = 0;
+  sim::Network::LinkMode mode = sim::Network::LinkMode::kSparse;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   banner("S — substrate scaling sweep (not a paper artifact)",
          "large-k runs within the default event budget; sparse links + "
          "bucketed broadcast vs the dense reference");
   BenchJson bj("scale");
   const std::size_t cap = max_k_cap();
 
-  // S2 runs first: the A/B wall-clock comparison is meaningless if the
-  // sparse run inherits the allocator state the big S1 points leave behind.
+  // The sweep grid, in mandatory execution order. S2 runs first: the A/B
+  // wall-clock comparison is meaningless if the sparse run inherits the
+  // allocator state the big S1 points leave behind.
+  std::vector<GridEntry> grid;
+  if (64 <= cap) {
+    grid.push_back({"S2", "sparse", 64, 564, sim::Network::LinkMode::kSparse});
+    grid.push_back({"S2", "dense", 64, 564, sim::Network::LinkMode::kDense});
+  }
+  for (std::size_t k : {64u, 256u, 1024u, 4096u}) {
+    if (k > cap) continue;
+    grid.push_back({"S1", "k=" + std::to_string(k), k, 500 + k,
+                    sim::Network::LinkMode::kSparse});
+  }
+
+  // The sweep runs over the campaign substrate for its telemetry (event
+  // stream, summary, progress line), pinned to ONE worker: per-point RSS
+  // accounting (clear_refs reset before, VmHWM read after) and the
+  // allocator-state ordering above only mean something when points execute
+  // serially in grid order — a single worker drains the cursor 0..total-1.
+  std::vector<ScalePoint> points(grid.size());
+  if (!grid.empty()) {
+    campaign::CampaignOptions copts;
+    copts.name = "scale";
+    copts.total = grid.size();
+    copts.threads = 1;
+    copts.seed_base = grid.front().seed;
+    copts.seed_fn = [&grid](std::size_t i) { return grid[i].seed; };
+    copts.telemetry = bench_telemetry("scale", argc, argv);
+    campaign::Campaign camp(std::move(copts));
+    camp.run([&](std::size_t i, std::uint64_t seed) {
+      reset_peak_rss();
+      points[i] = run_point(grid[i].k, seed, grid[i].mode);
+      points[i].rss_mb = peak_rss_mb();
+      campaign::RunOutcome out;
+      out.label = grid[i].section + "/" + grid[i].label;
+      out.status = points[i].report.ok() ? obs::RunStatus::kOk
+                                         : obs::RunStatus::kFailed;
+      if (!points[i].report.ok()) {
+        out.detail = "run failed (predicate or budget)";
+      }
+      out.report = points[i].report;
+      return out;
+    });
+    camp.finish();
+  }
+
+  const auto point_for = [&](const std::string& section,
+                             const std::string& label) -> const ScalePoint* {
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (grid[i].section == section && grid[i].label == label) {
+        return &points[i];
+      }
+    }
+    return nullptr;
+  };
+
   section("S2: sparse vs dense A/B, k=64 (identical Q/T/M; events differ)");
   {
     Table table({"mode", "Q", "T", "M", "events", "wall ms", "ok"});
     for (const bool dense : {false, true}) {
-      if (64 > cap) break;
-      const ScalePoint point =
-          run_point(64, 564, dense ? sim::Network::LinkMode::kDense
-                                   : sim::Network::LinkMode::kSparse);
-      const RepeatStats stats = as_stats(point);
       const char* label = dense ? "dense" : "sparse";
+      const ScalePoint* point = point_for("S2", label);
+      if (point == nullptr) break;
+      const RepeatStats stats = as_stats(*point);
       table.add(label, mean_cell(stats.q), mean_cell(stats.t),
-                mean_cell(stats.m), point.report.events, point.wall_ms,
-                point.report.ok());
+                mean_cell(stats.m), point->report.events, point->wall_ms,
+                point->report.ok());
       bj.record("S2", label, stats);
       bj.record_value("S2-substrate", label, "events",
-                      static_cast<double>(point.report.events));
+                      static_cast<double>(point->report.events));
     }
     table.print();
     std::printf("shape: byte-identical complexities (the A/B equivalence\n"
@@ -165,24 +227,23 @@ int main() {
         std::printf("(k=%zu skipped: ASYNCDR_SCALE_MAX_K=%zu)\n", k, cap);
         continue;
       }
-      reset_peak_rss();
-      const ScalePoint point =
-          run_point(k, 500 + k, sim::Network::LinkMode::kSparse);
-      const RepeatStats stats = as_stats(point);
       const std::string label = "k=" + std::to_string(k);
+      const ScalePoint* point = point_for("S1", label);
+      if (point == nullptr) continue;
+      const RepeatStats stats = as_stats(*point);
       table.add(k, mean_cell(stats.q), mean_cell(stats.t), mean_cell(stats.m),
-                point.report.events, point.active_links,
+                point->report.events, point->active_links,
                 static_cast<double>(k) * static_cast<double>(k),
-                point.wall_ms, peak_rss_mb(), point.report.ok());
+                point->wall_ms, point->rss_mb, point->report.ok());
       bj.record("S1", label, stats);
       bj.record_value("S1-substrate", label, "events",
-                      static_cast<double>(point.report.events));
+                      static_cast<double>(point->report.events));
       bj.record_value("S1-substrate", label, "active_links",
-                      point.active_links);
+                      point->active_links);
       // Machine-dependent; recorded for the EXPERIMENTS.md table, ignored
       // by the comparator.
-      bj.record_value("S1-wall", label, "wall_ms", point.wall_ms);
-      bj.record_value("S1-rss", label, "rss_mb", peak_rss_mb());
+      bj.record_value("S1-wall", label, "wall_ms", point->wall_ms);
+      bj.record_value("S1-rss", label, "rss_mb", point->rss_mb);
     }
     table.print();
     std::printf("shape: events stays far below the per-recipient count\n"

@@ -66,6 +66,10 @@
 //   --inject-bug committee-threshold   arm the planted off-by-one
 //   --no-shrink 1       report failures without shrinking them
 //   --verbose 1         list every case, not just failures
+//   --progress 1        live stderr progress line (runs, rate, ETA, worst)
+//   --events FILE       append-only JSONL campaign event stream
+//   --summary FILE      deterministic campaign summary JSON
+//   --timing 1          add the machine-dependent timing section to --summary
 //   --artifact-dir DIR  write each shrunk failure's metrics snapshot to
 //                       DIR/chaos_metrics_<i>.json plus its critical-path
 //                       analysis to DIR/chaos_critpath_<i>.{txt,json}
@@ -342,6 +346,11 @@ int run_chaos(int argc, char** argv) {
       args.get_double("latency-spread", options.chaos.latency_spread);
   options.chaos.beyond_model = args.get_size("beyond-model", 0) != 0;
   options.chaos.recovery = args.get_size("recovery", 0) != 0;
+
+  options.telemetry.progress = args.get_size("progress", 0) != 0;
+  options.telemetry.events_path = args.get("events", "");
+  options.telemetry.summary_path = args.get("summary", "");
+  options.telemetry.include_timing = args.get_size("timing", 0) != 0;
   const std::string bug = args.get("inject-bug", "");
   if (bug == "committee-threshold") {
     options.chaos.inject_committee_bug = true;

@@ -1,0 +1,49 @@
+// Append-only JSONL campaign event stream, safe for concurrent writers.
+// Every emitted line is one JSON object carrying the event kind, a
+// contiguous sequence number, and a monotonic timestamp; seq assignment,
+// timestamping and the write happen under one lock, so lines never
+// interleave and (seq, ts_ms) are both monotone over the file — the
+// invariants tools/check_campaign.py validates in CI.
+//
+// The stream is observability output, not part of the campaign's
+// determinism contract: with multiple workers the run-event order reflects
+// real scheduling (that is the point of a live stream). The deterministic
+// artifact is the summary JSON the collector produces.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "obs/json.hpp"
+
+namespace asyncdr::campaign {
+
+class EventStream {
+ public:
+  ~EventStream();
+
+  EventStream(const EventStream&) = delete;
+  EventStream& operator=(const EventStream&) = delete;
+
+  /// Opens (truncates) `path`. Returns null and warns on stderr if the file
+  /// cannot be created — telemetry must never sink a campaign.
+  [[nodiscard]] static std::unique_ptr<EventStream> open(
+      const std::string& path);
+
+  /// Appends one event line: {"ev": kind, "seq": n, "ts_ms": t, ...fields}.
+  /// `fields` must be a JSON object (or null for field-less events).
+  /// Thread-safe; each line is flushed so a crashed campaign leaves a
+  /// readable prefix.
+  void emit(const char* kind, const obs::Json& fields);
+
+  /// Events emitted so far.
+  [[nodiscard]] std::uint64_t emitted() const;
+
+ private:
+  EventStream();
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace asyncdr::campaign

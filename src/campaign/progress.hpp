@@ -1,0 +1,40 @@
+// Live TTY progress line for campaign runs: runs done/total, throughput,
+// ETA, failure count, and the worst seed seen so far (highest Q, failures
+// first). Rendered to stderr behind an explicit opt-in (--progress) so
+// machine-consumed stdout stays clean; on a real TTY it is a throttled
+// \r-rewritten line, on a pipe it degrades to occasional plain lines.
+//
+// Progress is ephemeral operator feedback — it reflects real completion
+// order and real time, and is deliberately outside the campaign's
+// determinism contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace asyncdr::campaign {
+
+class Progress {
+ public:
+  /// `enabled` false produces an inert object (every call a no-op), so
+  /// callers never need to branch.
+  Progress(std::string name, std::size_t total, bool enabled);
+  ~Progress();
+
+  Progress(const Progress&) = delete;
+  Progress& operator=(const Progress&) = delete;
+
+  /// Records one finished run and maybe redraws. Thread-safe.
+  void on_run_done(std::uint64_t seed, bool failed, std::size_t q);
+
+  /// Clears the live line and prints one final plain summary line.
+  void finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace asyncdr::campaign

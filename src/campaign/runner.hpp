@@ -1,0 +1,121 @@
+// The reusable multi-world campaign substrate: one work-stealing scheduler
+// that fans a grid of independent runs (chaos cases, bench grid points,
+// seed sweeps) across a worker pool and makes the whole fleet observable —
+// a streaming JSONL event log, a live TTY progress line, and a
+// deterministic summary JSON aggregated by obs::CampaignCollector.
+//
+// Scheduling model: runs are claimed from a shared atomic cursor (idle
+// workers steal the next undone index, so a straggler world never convoys
+// the pool), every dr::World is built inside its own run and shared with
+// nothing (DR012 lints this), and per-run seeds are a pure function of the
+// run index. Results land at their grid index and per-worker collector
+// shards merge order-independently, so everything the campaign *returns* —
+// the RunRecord vector and the summary JSON — is byte-identical regardless
+// of thread count or interleaving. Only the live telemetry (event order in
+// the stream, the progress line) reflects real scheduling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campaign/events.hpp"
+#include "dr/world.hpp"
+#include "obs/campaign.hpp"
+
+namespace asyncdr::campaign {
+
+/// Observability opt-ins, shared by every campaign front-end (chaos CLI,
+/// benches) so the flags mean the same thing everywhere.
+struct TelemetryOptions {
+  bool progress = false;        ///< live stderr progress line
+  std::string events_path;      ///< JSONL event stream; empty = off
+  std::string summary_path;     ///< summary JSON; empty = off
+  /// Include the machine-dependent timing section (wall ms, RSS MB) in the
+  /// summary. Off by default: the default summary is byte-deterministic.
+  bool include_timing = false;
+};
+
+struct CampaignOptions {
+  std::string name = "campaign";
+  std::size_t total = 0;    ///< grid size; must be > 0
+  /// 0 = auto (ASYNCDR_THREADS env override, else clamped hardware
+  /// concurrency — common/threads semantics, same as the chaos runner).
+  std::size_t threads = 0;
+  std::uint64_t seed_base = 1;
+  /// Per-run seed derivation; default seed_base + index. Must be a pure
+  /// function of the index (the determinism contract hangs on it).
+  std::function<std::uint64_t(std::size_t)> seed_fn;
+  TelemetryOptions telemetry;
+};
+
+/// What one run reports back to the substrate.
+struct RunOutcome {
+  obs::RunStatus status = obs::RunStatus::kOk;
+  std::string label;   ///< grouping key (protocol, bench series, ...)
+  std::string detail;  ///< violation text; empty unless kFailed
+  dr::RunReport report;
+};
+
+/// One completed run as the campaign recorded it.
+struct RunRecord {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  RunOutcome outcome;
+  double wall_ms = 0;  ///< machine-dependent diagnostic
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignOptions options);
+  /// Finishes (event + summary flush) if the caller did not.
+  ~Campaign();
+
+  Campaign(const Campaign&) = delete;
+  Campaign& operator=(const Campaign&) = delete;
+
+  /// One run: build a world from (index, seed), run it, report. The job is
+  /// called concurrently from pool workers and must not share mutable state
+  /// across invocations.
+  using Job = std::function<RunOutcome(std::size_t index, std::uint64_t seed)>;
+
+  /// Runs the whole grid; blocks until every run completed. Returns the
+  /// records in grid order. Call once.
+  std::vector<RunRecord> run(const Job& job);
+
+  /// Aggregated view (valid after run()).
+  [[nodiscard]] const obs::CampaignCollector& collector() const {
+    return collector_;
+  }
+
+  /// The event stream, for post-run emissions (shrink steps, repro lines)
+  /// that belong to the campaign's log. Null when telemetry is off.
+  [[nodiscard]] EventStream* events() { return events_.get(); }
+
+  /// The deterministic summary document (plus the timing section when
+  /// opted in): schema asyncdr-campaign-v1.
+  [[nodiscard]] obs::Json summary() const;
+  /// summary().dump(1) + '\n' — the exact bytes the golden test pins.
+  [[nodiscard]] std::string summary_string() const;
+
+  /// Emits campaign_finished and writes the summary file. Idempotent;
+  /// called by the destructor if needed.
+  void finish();
+
+  /// Peak-RSS reading (VmHWM, MB) used for the timing section; 0 when
+  /// unavailable. Exposed for tests.
+  [[nodiscard]] static double peak_rss_mb();
+
+ private:
+  CampaignOptions options_;
+  std::unique_ptr<EventStream> events_;
+  obs::CampaignCollector collector_;
+  double wall_ms_total_ = 0;
+  bool ran_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace asyncdr::campaign

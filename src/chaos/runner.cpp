@@ -1,13 +1,12 @@
 #include "chaos/runner.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdio>
 #include <sstream>
-#include <thread>
+#include <utility>
 
+#include "campaign/runner.hpp"
 #include "common/check.hpp"
-#include "common/threads.hpp"
 #include "obs/collect.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -114,10 +113,24 @@ CaseResult ChaosRunner::run_case(const ProtocolProfile& profile,
 ShrunkRepro ChaosRunner::shrink_failure(const ProtocolProfile& profile,
                                         std::uint64_t seed,
                                         ChaosOptions options,
-                                        std::size_t max_events) {
+                                        std::size_t max_events,
+                                        campaign::EventStream* events) {
   ShrunkRepro out;
   out.protocol = profile.name;
   out.seed = seed;
+
+  // Accepted shrink steps stream into the campaign log (when attached), so
+  // an operator tailing the JSONL sees the minimisation converge live.
+  const auto emit_step = [&](const char* dimension, double value) {
+    if (events == nullptr) return;
+    obs::Json fields = obs::Json::object();
+    fields["protocol"] = profile.name;
+    fields["seed"] = seed;
+    fields["dimension"] = dimension;
+    fields["value"] = value;
+    fields["shrink_runs"] = static_cast<std::uint64_t>(out.shrink_runs);
+    events->emit("shrink_step", fields);
+  };
 
   // Sampling only reads the caps through clamps, so tightening a cap to the
   // currently sampled value is a free first shrink step: it cannot change
@@ -155,6 +168,7 @@ ShrunkRepro ChaosRunner::shrink_failure(const ProtocolProfile& profile,
       if (!still_fails(candidate, &violation)) break;
       options = candidate;
       progressed = true;
+      emit_step("n_cap", static_cast<double>(options.n_cap));
     }
 
     // Peer count: halve, then single steps, toward the 3-peer floor.
@@ -164,6 +178,7 @@ ShrunkRepro ChaosRunner::shrink_failure(const ProtocolProfile& profile,
       if (still_fails(candidate, &violation)) {
         options = candidate;
         progressed = true;
+        emit_step("k_cap", static_cast<double>(options.k_cap));
         continue;
       }
       candidate = options;
@@ -171,6 +186,7 @@ ShrunkRepro ChaosRunner::shrink_failure(const ProtocolProfile& profile,
       if (!still_fails(candidate, &violation)) break;
       options = candidate;
       progressed = true;
+      emit_step("k_cap", static_cast<double>(options.k_cap));
     }
 
     // Fault count: one victim at a time.
@@ -181,6 +197,7 @@ ShrunkRepro ChaosRunner::shrink_failure(const ProtocolProfile& profile,
       if (!still_fails(candidate, &violation)) break;
       options = candidate;
       progressed = true;
+      emit_step("fault_cap", static_cast<double>(options.fault_cap));
     }
 
     // Latency spread: halve, then snap to the fully synchronous schedule.
@@ -191,6 +208,7 @@ ShrunkRepro ChaosRunner::shrink_failure(const ProtocolProfile& profile,
       if (!still_fails(candidate, &violation)) break;
       options = candidate;
       progressed = true;
+      emit_step("latency_spread", options.latency_spread);
     }
   }
 
@@ -198,6 +216,15 @@ ShrunkRepro ChaosRunner::shrink_failure(const ProtocolProfile& profile,
   out.violation = violation;
   out.cfg = sample_case(profile, seed, options).cfg;
   out.command_line = repro_command(profile.name, seed, options);
+  if (events != nullptr) {
+    obs::Json fields = obs::Json::object();
+    fields["protocol"] = profile.name;
+    fields["seed"] = seed;
+    fields["violation"] = out.violation;
+    fields["shrink_runs"] = static_cast<std::uint64_t>(out.shrink_runs);
+    fields["command"] = out.command_line;
+    events->emit("repro", fields);
+  }
 
   // One more run of the shrunk case with a collector and tracing attached,
   // so the repro ships with a machine-readable metrics snapshot AND the
@@ -242,30 +269,35 @@ SweepReport ChaosRunner::run() const {
   const std::size_t total = profiles.size() * seeds;
   std::vector<CaseResult> results(total);
 
-  // Fan the protocol-major grid across a thread pool. Each case builds its
-  // own dr::World, so workers share nothing but the atomic cursor; results
-  // land at their grid index, making the report order (and bytes)
-  // independent of scheduling.
-  std::size_t threads = std::min(resolve_threads(options_.threads), total);
-
-  std::atomic<std::size_t> cursor{0};
-  const auto worker = [&] {
-    for (std::size_t i = cursor.fetch_add(1); i < total;
-         i = cursor.fetch_add(1)) {
-      const ProtocolProfile& profile = *profiles[i / seeds];
-      const std::uint64_t seed = options_.seed_base + (i % seeds);
-      results[i] =
-          run_case(profile, seed, options_.chaos, options_.max_events);
-    }
+  // Fan the protocol-major grid over the campaign substrate. Each case
+  // builds its own dr::World, so workers share nothing but the substrate's
+  // cursor; results land at their grid index, making the report order (and
+  // bytes) independent of scheduling. The substrate also carries the
+  // sweep's telemetry: event stream, progress line, summary JSON.
+  campaign::CampaignOptions copts;
+  copts.name = "chaos";
+  copts.total = total;
+  copts.threads = options_.threads;
+  copts.seed_base = options_.seed_base;
+  const std::uint64_t seed_base = options_.seed_base;
+  copts.seed_fn = [seed_base, seeds](std::size_t i) {
+    return seed_base + static_cast<std::uint64_t>(i % seeds);
   };
-  if (threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
+  copts.telemetry = options_.telemetry;
+  campaign::Campaign camp(std::move(copts));
+  camp.run([&](std::size_t i, std::uint64_t seed) {
+    const ProtocolProfile& profile = *profiles[i / seeds];
+    CaseResult r = run_case(profile, seed, options_.chaos, options_.max_events);
+    campaign::RunOutcome outcome;
+    outcome.label = profile.name;
+    outcome.status = !r.violation.empty() ? obs::RunStatus::kFailed
+                     : r.degraded         ? obs::RunStatus::kDegraded
+                                          : obs::RunStatus::kOk;
+    outcome.detail = r.violation;
+    outcome.report = r.report;
+    results[i] = std::move(r);
+    return outcome;
+  });
 
   SweepReport report;
   report.cases = total;
@@ -288,14 +320,17 @@ SweepReport ChaosRunner::run() const {
   }
 
   // Shrinking runs serially, in grid order: it is rare (failures only) and
-  // determinism matters more than latency here.
+  // determinism matters more than latency here. Shrink steps stream into
+  // the campaign log before its campaign_finished terminator.
   if (options_.shrink) {
     for (const CaseResult& failure : report.failures) {
       report.repros.push_back(shrink_failure(*find_protocol(failure.protocol),
                                              failure.seed, options_.chaos,
-                                             options_.max_events));
+                                             options_.max_events,
+                                             camp.events()));
     }
   }
+  camp.finish();
   report.cases_detail = std::move(results);
   return report;
 }

@@ -1,8 +1,11 @@
 // Multi-threaded chaos sweeps. Each dr::World is fully independent (a run
 // is a pure function of its Scenario), so the protocol × seed grid fans out
-// across a thread pool; results are re-assembled in grid order, making the
-// rendered report a deterministic function of the sweep options alone —
-// byte-identical regardless of thread count or interleaving.
+// over the campaign substrate (src/campaign): work-stealing workers claim
+// cases off a shared cursor and results are re-assembled in grid order,
+// making the rendered report a deterministic function of the sweep options
+// alone — byte-identical regardless of thread count or interleaving. The
+// substrate's telemetry (JSONL event stream, progress line, summary JSON)
+// is available through SweepOptions::telemetry.
 //
 // Every failing case is shrunk before reporting: the shrinker tightens the
 // sampling caps (input length, peer count, fault count, latency spread) one
@@ -15,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/runner.hpp"
 #include "chaos/injectors.hpp"
 #include "dr/world.hpp"
 
@@ -70,6 +74,9 @@ struct SweepOptions {
   /// Per-run event budget. Sweeps use a tighter budget than the default so
   /// a runaway case fails fast into a stall report.
   std::size_t max_events = 2'000'000;
+  /// Campaign observability opt-ins (progress line, JSONL event stream,
+  /// summary JSON); all off by default.
+  campaign::TelemetryOptions telemetry;
 };
 
 struct SweepReport {
@@ -100,10 +107,13 @@ class ChaosRunner {
                              std::uint64_t seed, const ChaosOptions& options,
                              std::size_t max_events);
 
-  /// Greedily shrinks a failing (profile, seed) to minimal caps.
+  /// Greedily shrinks a failing (profile, seed) to minimal caps. With an
+  /// event stream attached, every accepted shrink step and the final repro
+  /// line are emitted into the campaign log.
   static ShrunkRepro shrink_failure(const ProtocolProfile& profile,
                                     std::uint64_t seed, ChaosOptions options,
-                                    std::size_t max_events);
+                                    std::size_t max_events,
+                                    campaign::EventStream* events = nullptr);
 
   /// The default deterministic protocol grid.
   static std::vector<std::string> default_protocols();

@@ -1,0 +1,162 @@
+#include "obs/campaign.hpp"
+
+#include <algorithm>
+
+namespace asyncdr::obs {
+
+const char* run_status_name(RunStatus status) {
+  switch (status) {
+    case RunStatus::kOk: return "ok";
+    case RunStatus::kFailed: return "failed";
+    case RunStatus::kDegraded: return "degraded";
+  }
+  return "unknown";
+}
+
+void CampaignCollector::MetricSet::add(RunStatus status,
+                                       const dr::RunReport& report) {
+  ++runs;
+  switch (status) {
+    case RunStatus::kOk: ++ok; break;
+    case RunStatus::kFailed: ++failed; break;
+    case RunStatus::kDegraded: ++degraded; break;
+  }
+  q.observe(static_cast<double>(report.query_complexity));
+  t.observe(report.time_complexity);
+  m.observe(static_cast<double>(report.message_complexity));
+  events.observe(static_cast<double>(report.events));
+  if (report.recovery.restarts > 0 || report.recovery.journal_replays > 0) {
+    any_recovery = true;
+  }
+  restarts.observe(static_cast<double>(report.recovery.restarts));
+  queries_saved.observe(static_cast<double>(report.recovery.queries_saved));
+}
+
+void CampaignCollector::MetricSet::merge(const MetricSet& other) {
+  runs += other.runs;
+  ok += other.ok;
+  failed += other.failed;
+  degraded += other.degraded;
+  q.merge(other.q);
+  t.merge(other.t);
+  m.merge(other.m);
+  events.merge(other.events);
+  restarts.merge(other.restarts);
+  queries_saved.merge(other.queries_saved);
+  any_recovery = any_recovery || other.any_recovery;
+}
+
+Json CampaignCollector::MetricSet::to_json() const {
+  Json j = Json::object();
+  j["runs"] = static_cast<std::uint64_t>(runs);
+  j["ok"] = static_cast<std::uint64_t>(ok);
+  j["failed"] = static_cast<std::uint64_t>(failed);
+  j["degraded"] = static_cast<std::uint64_t>(degraded);
+  j["q"] = q.snapshot_json();
+  j["t"] = t.snapshot_json();
+  j["m"] = m.snapshot_json();
+  j["events"] = events.snapshot_json();
+  // Recovery histograms only when some run actually exercised the restart
+  // path — an all-zero distribution says nothing and bloats summaries.
+  if (any_recovery) {
+    j["restarts"] = restarts.snapshot_json();
+    j["queries_saved"] = queries_saved.snapshot_json();
+  }
+  return j;
+}
+
+void CampaignCollector::add_run(std::size_t index, std::uint64_t seed,
+                                const std::string& label, RunStatus status,
+                                const std::string& detail,
+                                const dr::RunReport& report) {
+  totals_.add(status, report);
+  by_label_[label].add(status, report);
+  if (status == RunStatus::kFailed) {
+    failures_.push_back({index, seed, label, detail});
+  }
+  const std::size_t run_q = report.query_complexity;
+  if (!have_worst_ || run_q > worst_q_ ||
+      (run_q == worst_q_ && index < worst_index_)) {
+    have_worst_ = true;
+    worst_index_ = index;
+    worst_seed_ = seed;
+    worst_q_ = run_q;
+  }
+}
+
+void CampaignCollector::add_timing(double wall_ms, double rss_mb) {
+  wall_ms_.observe(wall_ms);
+  if (rss_mb > 0) rss_mb_.observe(rss_mb);
+}
+
+void CampaignCollector::merge(const CampaignCollector& other) {
+  totals_.merge(other.totals_);
+  for (const auto& [label, set] : other.by_label_) {
+    by_label_[label].merge(set);
+  }
+  failures_.insert(failures_.end(), other.failures_.begin(),
+                   other.failures_.end());
+  if (other.have_worst_ &&
+      (!have_worst_ || other.worst_q_ > worst_q_ ||
+       (other.worst_q_ == worst_q_ && other.worst_index_ < worst_index_))) {
+    have_worst_ = true;
+    worst_index_ = other.worst_index_;
+    worst_seed_ = other.worst_seed_;
+    worst_q_ = other.worst_q_;
+  }
+  wall_ms_.merge(other.wall_ms_);
+  rss_mb_.merge(other.rss_mb_);
+}
+
+Json CampaignCollector::summary_json() const {
+  Json j = Json::object();
+  Json runs = Json::object();
+  runs["total"] = static_cast<std::uint64_t>(totals_.runs);
+  runs["ok"] = static_cast<std::uint64_t>(totals_.ok);
+  runs["failed"] = static_cast<std::uint64_t>(totals_.failed);
+  runs["degraded"] = static_cast<std::uint64_t>(totals_.degraded);
+  j["runs"] = std::move(runs);
+  j["metrics"] = totals_.to_json();
+
+  Json by_label = Json::object();
+  for (const auto& [label, set] : by_label_) {
+    by_label[label] = set.to_json();
+  }
+  j["by_label"] = std::move(by_label);
+
+  Json worst = Json::object();
+  if (have_worst_) {
+    Json w = Json::object();
+    w["index"] = static_cast<std::uint64_t>(worst_index_);
+    w["seed"] = worst_seed_;
+    w["q"] = static_cast<std::uint64_t>(worst_q_);
+    worst["max_q"] = std::move(w);
+  }
+  std::vector<FailureEntry> sorted = failures_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const FailureEntry& a, const FailureEntry& b) {
+              return a.index < b.index;
+            });
+  Json listed = Json::array();
+  for (std::size_t i = 0; i < sorted.size() && i < kMaxListedFailures; ++i) {
+    Json f = Json::object();
+    f["index"] = static_cast<std::uint64_t>(sorted[i].index);
+    f["seed"] = sorted[i].seed;
+    f["label"] = sorted[i].label;
+    f["detail"] = sorted[i].detail;
+    listed.push_back(std::move(f));
+  }
+  worst["failure_count"] = static_cast<std::uint64_t>(sorted.size());
+  worst["failures"] = std::move(listed);
+  j["worst"] = std::move(worst);
+  return j;
+}
+
+Json CampaignCollector::timing_json() const {
+  Json j = Json::object();
+  j["wall_ms"] = wall_ms_.snapshot_json();
+  j["rss_mb"] = rss_mb_.snapshot_json();
+  return j;
+}
+
+}  // namespace asyncdr::obs

@@ -1,0 +1,104 @@
+// Cross-run aggregation for multi-world campaigns (chaos sweeps, bench
+// grids, seed sweeps): folds per-run dr::RunReports into mergeable
+// LogHistograms of Q/T/M/events plus the recovery counters, with per-label
+// breakdowns, worst-case tracking, and a failure roster.
+//
+// Determinism contract: every collector operation is order-independent —
+// histograms merge bucket-wise, counts add, the worst-run comparison is a
+// total order on (metric, run index), and summary_json() sorts labels and
+// failures before emitting. The campaign runner gives each worker its own
+// collector shard and merges at the end; the merged summary is byte-
+// identical to the single-threaded one. Machine-dependent measures (wall
+// clock, RSS) are quarantined in timing_json(), which the deterministic
+// summary omits unless explicitly requested.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dr/world.hpp"
+#include "obs/json.hpp"
+#include "obs/loghist.hpp"
+
+namespace asyncdr::obs {
+
+/// Outcome class of one campaign run.
+enum class RunStatus {
+  kOk,        ///< correctness predicate held, bounds respected
+  kFailed,    ///< violation (the campaign-level failure signal)
+  kDegraded,  ///< beyond-model case that failed gracefully
+};
+
+[[nodiscard]] const char* run_status_name(RunStatus status);
+
+class CampaignCollector {
+ public:
+  /// Folds one finished run in. `index` is the run's grid position (used
+  /// for deterministic worst/failure ordering), `label` its grouping key
+  /// (e.g. the protocol or the bench series).
+  void add_run(std::size_t index, std::uint64_t seed,
+               const std::string& label, RunStatus status,
+               const std::string& detail, const dr::RunReport& report);
+
+  /// Machine-dependent per-run measures; kept apart from the deterministic
+  /// aggregates (see timing_json()).
+  void add_timing(double wall_ms, double rss_mb);
+
+  /// Order-independent fold of another shard.
+  void merge(const CampaignCollector& other);
+
+  [[nodiscard]] std::size_t runs() const { return totals_.runs; }
+  [[nodiscard]] std::size_t ok() const { return totals_.ok; }
+  [[nodiscard]] std::size_t failed() const { return totals_.failed; }
+  [[nodiscard]] std::size_t degraded() const { return totals_.degraded; }
+
+  /// Deterministic aggregate: outcome counts, metric histograms, sorted
+  /// per-label breakdowns, worst run by Q, and the sorted failure roster
+  /// (capped at kMaxListedFailures entries, with the full count alongside).
+  [[nodiscard]] Json summary_json() const;
+
+  /// Wall-clock / RSS histograms — machine-dependent, never part of the
+  /// byte-identity contract.
+  [[nodiscard]] Json timing_json() const;
+
+  static constexpr std::size_t kMaxListedFailures = 32;
+
+ private:
+  struct MetricSet {
+    std::size_t runs = 0;
+    std::size_t ok = 0;
+    std::size_t failed = 0;
+    std::size_t degraded = 0;
+    LogHistogram q, t, m, events;
+    LogHistogram restarts, queries_saved;  // zero-count on crash-stop runs
+    bool any_recovery = false;
+
+    void add(RunStatus status, const dr::RunReport& report);
+    void merge(const MetricSet& other);
+    [[nodiscard]] Json to_json() const;
+  };
+
+  struct FailureEntry {
+    std::size_t index = 0;
+    std::uint64_t seed = 0;
+    std::string label;
+    std::string detail;
+  };
+
+  MetricSet totals_;
+  std::map<std::string, MetricSet> by_label_;  // sorted by construction
+  std::vector<FailureEntry> failures_;
+  // Worst run by Q (ties broken toward the lower grid index, so the pick is
+  // a pure function of the run set).
+  bool have_worst_ = false;
+  std::size_t worst_index_ = 0;
+  std::uint64_t worst_seed_ = 0;
+  std::size_t worst_q_ = 0;
+  LogHistogram wall_ms_;
+  LogHistogram rss_mb_;
+};
+
+}  // namespace asyncdr::obs

@@ -437,7 +437,8 @@ RULES = [
     ),
     Rule(
         "DR010", "threads-outside-substrate",
-        "Threading primitives only in src/chaos/ and src/common/threads.*.",
+        "Threading primitives only in src/campaign/, src/chaos/ and "
+        "src/common/threads.*.",
         "A dr::World is single-threaded by design — determinism comes from "
         "a sequential event loop. Parallelism belongs in the sweep substrate "
         "that fans out *independent* worlds; a mutex or thread inside model "
@@ -450,7 +451,8 @@ RULES = [
             r"|shared_mutex|condition_variable|atomic)\b|\bstd::async\b",
             "threading primitive '{match}' outside the sweep substrate",
             include_dirs=("src",),
-            exempt_globs=("src/chaos/*", "src/common/threads.*")),
+            exempt_globs=("src/campaign/*", "src/chaos/*",
+                          "src/common/threads.*")),
     ),
     Rule(
         "DR011", "persistence-outside-journal",
@@ -470,6 +472,27 @@ RULES = [
             "direct persistence '{match}' outside dr::Journal",
             include_dirs=("src",),
             exempt_globs=("src/dr/journal.*",)),
+    ),
+    Rule(
+        "DR012", "cross-world-sharing",
+        "Campaign/sweep worker code must not share mutable world state "
+        "(dr::World, sim::Engine, sim::Network, dr::Peer) across runs.",
+        "The campaign substrate's determinism contract (same seed => "
+        "byte-identical summary at any thread count) holds because every "
+        "run builds its own world and workers share only the claim cursor "
+        "and their private collector shards. A static world, or shared "
+        "ownership of one, couples runs through scheduling: Q/T/M would "
+        "depend on which worker ran first, and same-seed repros would stop "
+        "reproducing.",
+        regex_rule(
+            "DR012",
+            r"\bstatic\s+(?!const\b|constexpr\b)[^;=(]*"
+            r"\b(dr::World|sim::Engine|sim::Network|dr::Peer)\b"
+            r"|\bstd::shared_ptr<\s*(dr::World|sim::Engine|sim::Network"
+            r"|dr::Peer)\b",
+            "cross-world mutable sharing '{match}' in sweep code (each "
+            "campaign run owns its world)",
+            include_dirs=("src/campaign", "src/chaos")),
     ),
 ]
 

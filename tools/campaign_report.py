@@ -1,0 +1,311 @@
+#!/usr/bin/env python3
+"""Render campaign telemetry into a self-contained HTML or markdown report.
+
+Usage: campaign_report.py SUMMARY.json [SUMMARY.json ...]
+           [--events EVENTS.jsonl ...] [--format html|md] [--out FILE]
+           [--title TITLE]
+
+Each positional argument is an asyncdr-campaign-v1 summary JSON; repeated
+--events flags attach JSONL event streams to the summaries in order (the
+first --events to the first summary, and so on). The report renders, per
+campaign:
+
+  * the run ledger (total / ok / failed / degraded)
+  * Q/T/M (+ events, recovery counters when present) percentile tables from
+    the summary's log-bucketed histograms
+  * the per-label breakdown (protocols, bench series, adversaries)
+  * the worst run and the failure roster
+  * from the event stream, when attached: wall-clock span and throughput,
+    the slowest runs, and every shrink/repro line
+
+The HTML output inlines all styling (no external assets), so a CI artifact
+renders anywhere. Exit status: 0 = rendered, 2 = usage/parse error.
+Zero third-party dependencies by design.
+"""
+
+import argparse
+import html
+import json
+import sys
+
+PCT_COLUMNS = ("count", "min", "p50", "p90", "p99", "max", "mean_est")
+
+
+def fmt(v):
+    """Compact numeric rendering for table cells."""
+    if v is None:
+        return "-"
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, (int, float)):
+        if isinstance(v, float) and v != int(v):
+            return f"{v:.4g}"
+        return f"{int(v)}"
+    return str(v)
+
+
+def load_summary(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "asyncdr-campaign-v1":
+        print(f"error: {path} is not an asyncdr-campaign-v1 summary",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def load_events(path):
+    events = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            for raw in f:
+                raw = raw.strip()
+                if raw:
+                    events.append(json.loads(raw))
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    return events
+
+
+def metric_rows(metrics):
+    """(header, rows) for the percentile table of one metrics block."""
+    rows = []
+    for name, snap in metrics.items():
+        if not isinstance(snap, dict) or "p50" not in snap:
+            continue
+        rows.append([name] + [fmt(snap.get(c)) for c in PCT_COLUMNS])
+    return ["metric"] + list(PCT_COLUMNS), rows
+
+
+def label_rows(by_label):
+    header = ["label", "runs", "ok", "failed", "degraded",
+              "Q p50", "Q p90", "Q p99", "T p50", "M p50"]
+    rows = []
+    for label, m in by_label.items():
+        q = m.get("q", {})
+        rows.append([label, fmt(m.get("runs")), fmt(m.get("ok")),
+                     fmt(m.get("failed")), fmt(m.get("degraded")),
+                     fmt(q.get("p50")), fmt(q.get("p90")), fmt(q.get("p99")),
+                     fmt(m.get("t", {}).get("p50")),
+                     fmt(m.get("m", {}).get("p50"))])
+    return header, rows
+
+
+def event_digest(events):
+    """Extracts the report-worthy view of one JSONL stream."""
+    digest = {"span_ms": None, "throughput": None, "slowest": [],
+              "shrinks": [], "repros": []}
+    if not events:
+        return digest
+    ts = [e["ts_ms"] for e in events if isinstance(e.get("ts_ms"), (int, float))]
+    terminal = [e for e in events if e.get("ev") in ("run_finished",
+                                                     "run_failed")]
+    if ts:
+        digest["span_ms"] = max(ts) - min(ts)
+        if digest["span_ms"] > 0 and terminal:
+            digest["throughput"] = 1000.0 * len(terminal) / digest["span_ms"]
+    digest["slowest"] = sorted(
+        (e for e in terminal if isinstance(e.get("wall_ms"), (int, float))),
+        key=lambda e: -e["wall_ms"])[:5]
+    digest["shrinks"] = [e for e in events if e.get("ev") == "shrink_step"]
+    digest["repros"] = [e for e in events if e.get("ev") == "repro"]
+    return digest
+
+
+# --- markdown ---------------------------------------------------------------
+
+def md_table(header, rows):
+    out = ["| " + " | ".join(header) + " |",
+           "|" + "|".join("---" for _ in header) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(out)
+
+
+def render_md(title, campaigns):
+    out = [f"# {title}", ""]
+    for doc, digest in campaigns:
+        runs = doc.get("runs", {})
+        out += [f"## Campaign `{doc.get('campaign', '?')}`", "",
+                f"{runs.get('total', '?')} runs: "
+                f"{runs.get('ok', '?')} ok, {runs.get('failed', '?')} failed, "
+                f"{runs.get('degraded', '?')} degraded "
+                f"(seed base {doc.get('seed_base', '?')})", ""]
+        header, rows = metric_rows(doc.get("metrics", {}))
+        if rows:
+            out += ["### Distribution percentiles", "",
+                    md_table(header, rows), ""]
+        header, rows = label_rows(doc.get("by_label", {}))
+        if rows:
+            out += ["### Per-label breakdown", "", md_table(header, rows), ""]
+        worst = doc.get("worst", {})
+        if worst.get("max_q"):
+            w = worst["max_q"]
+            out += [f"Worst run by Q: index {w.get('index')}, "
+                    f"seed {w.get('seed')}, Q={w.get('q')}", ""]
+        failures = worst.get("failures", [])
+        if failures:
+            out += [f"### Failures ({worst.get('failure_count', len(failures))})",
+                    ""]
+            for f in failures:
+                out.append(f"- run {f.get('index')} seed {f.get('seed')} "
+                           f"[{f.get('label')}]: {f.get('detail')}")
+            out.append("")
+        timing = doc.get("timing")
+        if timing:
+            out += [f"Timing (machine-dependent): total wall "
+                    f"{fmt(timing.get('wall_ms_total'))} ms, peak RSS "
+                    f"{fmt(timing.get('rss_mb_final'))} MB", ""]
+        if digest:
+            if digest["span_ms"] is not None:
+                line = f"Event stream: {fmt(digest['span_ms'])} ms span"
+                if digest["throughput"]:
+                    line += f", {digest['throughput']:.1f} runs/s"
+                out += [line, ""]
+            if digest["slowest"]:
+                out += ["### Slowest runs", "",
+                        md_table(["run", "seed", "label", "wall ms"],
+                                 [[e.get("run"), e.get("seed"),
+                                   e.get("label"), fmt(e.get("wall_ms"))]
+                                  for e in digest["slowest"]]), ""]
+            for r in digest["repros"]:
+                out.append(f"- repro ({r.get('protocol')} seed "
+                           f"{r.get('seed')}, {len(digest['shrinks'])} shrink "
+                           f"step(s)): `{r.get('command')}`")
+            if digest["repros"]:
+                out.append("")
+    return "\n".join(out) + "\n"
+
+
+# --- html -------------------------------------------------------------------
+
+CSS = """
+body { font-family: system-ui, sans-serif; margin: 2rem auto;
+       max-width: 70rem; color: #1a1a2e; }
+h1 { border-bottom: 2px solid #16324f; padding-bottom: .3rem; }
+h2 { color: #16324f; margin-top: 2rem; }
+table { border-collapse: collapse; margin: .8rem 0; }
+th, td { border: 1px solid #b8c4d0; padding: .25rem .6rem;
+         font-variant-numeric: tabular-nums; text-align: right; }
+th { background: #e8eef4; }
+td:first-child, th:first-child { text-align: left; }
+code { background: #f0f2f5; padding: .1rem .3rem; }
+.fail { color: #a02020; }
+.note { color: #555; }
+"""
+
+
+def html_table(header, rows):
+    out = ["<table><tr>" + "".join(f"<th>{html.escape(str(h))}</th>"
+                                   for h in header) + "</tr>"]
+    for row in rows:
+        out.append("<tr>" + "".join(f"<td>{html.escape(str(c))}</td>"
+                                    for c in row) + "</tr>")
+    out.append("</table>")
+    return "\n".join(out)
+
+
+def render_html(title, campaigns):
+    out = ["<!doctype html>", "<html><head><meta charset=\"utf-8\">",
+           f"<title>{html.escape(title)}</title>",
+           f"<style>{CSS}</style></head><body>",
+           f"<h1>{html.escape(title)}</h1>"]
+    for doc, digest in campaigns:
+        runs = doc.get("runs", {})
+        out.append(f"<h2>Campaign <code>"
+                   f"{html.escape(str(doc.get('campaign', '?')))}</code></h2>")
+        out.append(f"<p>{runs.get('total', '?')} runs: {runs.get('ok', '?')} "
+                   f"ok, <span class=\"fail\">{runs.get('failed', '?')} "
+                   f"failed</span>, {runs.get('degraded', '?')} degraded "
+                   f"(seed base {doc.get('seed_base', '?')})</p>")
+        header, rows = metric_rows(doc.get("metrics", {}))
+        if rows:
+            out.append("<h3>Distribution percentiles</h3>")
+            out.append(html_table(header, rows))
+        header, rows = label_rows(doc.get("by_label", {}))
+        if rows:
+            out.append("<h3>Per-label breakdown</h3>")
+            out.append(html_table(header, rows))
+        worst = doc.get("worst", {})
+        if worst.get("max_q"):
+            w = worst["max_q"]
+            out.append(f"<p>Worst run by Q: index {w.get('index')}, seed "
+                       f"{w.get('seed')}, Q={w.get('q')}</p>")
+        failures = worst.get("failures", [])
+        if failures:
+            out.append(f"<h3>Failures "
+                       f"({worst.get('failure_count', len(failures))})</h3><ul>")
+            for f in failures:
+                out.append(f"<li class=\"fail\">run {f.get('index')} seed "
+                           f"{f.get('seed')} [{html.escape(str(f.get('label')))}]: "
+                           f"{html.escape(str(f.get('detail')))}</li>")
+            out.append("</ul>")
+        timing = doc.get("timing")
+        if timing:
+            out.append(f"<p class=\"note\">Timing (machine-dependent): total "
+                       f"wall {fmt(timing.get('wall_ms_total'))} ms, peak RSS "
+                       f"{fmt(timing.get('rss_mb_final'))} MB</p>")
+        if digest:
+            if digest["span_ms"] is not None:
+                line = (f"Event stream: {fmt(digest['span_ms'])} ms span")
+                if digest["throughput"]:
+                    line += f", {digest['throughput']:.1f} runs/s"
+                out.append(f"<p class=\"note\">{html.escape(line)}</p>")
+            if digest["slowest"]:
+                out.append("<h3>Slowest runs</h3>")
+                out.append(html_table(
+                    ["run", "seed", "label", "wall ms"],
+                    [[e.get("run"), e.get("seed"), e.get("label"),
+                      fmt(e.get("wall_ms"))] for e in digest["slowest"]]))
+            if digest["repros"]:
+                out.append("<h3>Repro lines</h3><ul>")
+                for r in digest["repros"]:
+                    out.append(f"<li>{html.escape(str(r.get('protocol')))} "
+                               f"seed {r.get('seed')}: <code>"
+                               f"{html.escape(str(r.get('command')))}</code></li>")
+                out.append("</ul>")
+    out.append("</body></html>")
+    return "\n".join(out) + "\n"
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("summaries", nargs="+",
+                    help="asyncdr-campaign-v1 summary JSON file(s)")
+    ap.add_argument("--events", action="append", default=[],
+                    help="JSONL event stream, matched to summaries in order")
+    ap.add_argument("--format", choices=("html", "md"), default="html")
+    ap.add_argument("--out", help="output file (default: stdout)")
+    ap.add_argument("--title", default="asyncdr campaign report")
+    args = ap.parse_args()
+
+    if len(args.events) > len(args.summaries):
+        print("error: more --events streams than summaries", file=sys.stderr)
+        return 2
+
+    campaigns = []
+    for i, path in enumerate(args.summaries):
+        doc = load_summary(path)
+        digest = None
+        if i < len(args.events):
+            digest = event_digest(load_events(args.events[i]))
+        campaigns.append((doc, digest))
+
+    render = render_html if args.format == "html" else render_md
+    text = render(args.title, campaigns)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(text)
+        print(f"wrote {args.format} report: {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -226,9 +226,11 @@ class RuleDetection(TreeCase):
         self.assertEqual(status, 1)
         self.assertIn("DR010", out)
 
-    def test_dr010_chaos_and_threads_exempt(self):
+    def test_dr010_chaos_campaign_and_threads_exempt(self):
         self.write("src/chaos/runner.cpp",
                    "namespace asyncdr {\nstd::thread t;\n}\n")
+        self.write("src/campaign/runner.cpp",
+                   "namespace asyncdr {\nstd::atomic<int> cursor;\n}\n")
         self.write("src/common/threads.cpp",
                    "namespace asyncdr {\nint n = "
                    "std::thread::hardware_concurrency();\n}\n")
@@ -273,6 +275,40 @@ class RuleDetection(TreeCase):
         self.write("src/dr/p.cpp",
                    "namespace asyncdr {\n"
                    "int reopened = count_reopened();\n}\n")
+        status, out = self.lint()
+        self.assertEqual(status, 0, out)
+
+    def test_dr012_static_world_in_campaign(self):
+        self.write("src/campaign/runner.cpp",
+                   "namespace asyncdr {\n"
+                   "static dr::World shared_world;\n}\n")
+        status, out = self.lint()
+        self.assertEqual(status, 1)
+        self.assertIn("DR012", out)
+        self.assertIn("src/campaign/runner.cpp:2", out)
+
+    def test_dr012_shared_ptr_engine_in_chaos(self):
+        self.write("src/chaos/runner.cpp",
+                   "namespace asyncdr {\n"
+                   "std::shared_ptr<sim::Engine> cached_engine;\n}\n")
+        status, out = self.lint()
+        self.assertEqual(status, 1)
+        self.assertIn("DR012", out)
+
+    def test_dr012_run_local_worlds_and_static_const_ok(self):
+        self.write("src/campaign/runner.cpp",
+                   "namespace asyncdr {\n"
+                   "static const dr::World* kNoWorld = nullptr;\n"
+                   "void run_one() { dr::World world; (void)world; }\n}\n")
+        status, out = self.lint()
+        self.assertEqual(status, 0, out)
+
+    def test_dr012_outside_sweep_dirs_ignored(self):
+        # The rule guards the fan-out layers; dr/ itself composes worlds
+        # from engines by design.
+        self.write("src/dr/world.cpp",
+                   "namespace asyncdr {\n"
+                   "std::shared_ptr<sim::Engine> engine_;\n}\n")
         status, out = self.lint()
         self.assertEqual(status, 0, out)
 
@@ -369,6 +405,25 @@ class BaselineAndOutputs(TreeCase):
         self.assertEqual(loc["artifactLocation"]["uri"], "src/common/a.cpp")
         self.assertEqual(loc["region"]["startLine"], 2)
 
+    def test_sarif_carries_dr012_rule_and_result(self):
+        self.write("src/campaign/worker.cpp",
+                   "namespace asyncdr {\n"
+                   "static sim::Engine shared_engine;\n}\n")
+        sarif_path = os.path.join(self.root, "out.sarif")
+        status, _ = self.lint("--sarif", sarif_path)
+        self.assertEqual(status, 1)
+        with open(sarif_path, encoding="utf-8") as f:
+            doc = json.load(f)
+        run = doc["runs"][0]
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        self.assertIn("DR012", rule_ids)
+        results = [r for r in run["results"] if r["ruleId"] == "DR012"]
+        self.assertEqual(len(results), 1)
+        loc = results[0]["locations"][0]["physicalLocation"]
+        self.assertEqual(loc["artifactLocation"]["uri"],
+                         "src/campaign/worker.cpp")
+        self.assertEqual(loc["region"]["startLine"], 2)
+
     def test_list_rules_documents_at_least_eight(self):
         status, out = run_lint("--list-rules")
         self.assertEqual(status, 0)
@@ -440,6 +495,16 @@ class SeededRegressionOnRealTree(unittest.TestCase):
         self.assertEqual(status, 1)
         self.assertIn("DR011", out)
         self.assertIn("crash_multi.cpp", out)
+
+    def test_injected_cross_world_sharing_is_caught(self):
+        victim = os.path.join(self.root, "src", "campaign", "runner.cpp")
+        with open(victim, "a", encoding="utf-8") as f:
+            f.write("\nnamespace asyncdr::campaign {\n"
+                    "static dr::World recycled_world;\n}\n")
+        status, out = run_lint("--root", self.root, "--no-baseline")
+        self.assertEqual(status, 1)
+        self.assertIn("DR012", out)
+        self.assertIn("runner.cpp", out)
 
 
 if __name__ == "__main__":

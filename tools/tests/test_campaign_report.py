@@ -1,0 +1,193 @@
+"""Unit tests for tools/campaign_report.py.
+
+Renders fixture summaries/event streams through the tool as a subprocess
+and asserts on the output text: the percentile tables, the per-label
+breakdown, the event-stream digest, HTML self-containedness and escaping,
+and the exit-status contract (0 = rendered, 2 = usage/parse error).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TOOL = os.path.join(TOOLS_DIR, "campaign_report.py")
+
+
+def snap(p50, p90, p99, count=10):
+    return {"count": count, "min": p50, "p50": p50, "p90": p90,
+            "p99": p99, "max": p99, "mean_est": (p50 + p99) / 2.0}
+
+
+def make_summary(campaign="chaos", failed=0, label="crash_one"):
+    return {
+        "schema": "asyncdr-campaign-v1",
+        "campaign": campaign,
+        "total": 10,
+        "seed_base": 1,
+        "runs": {"total": 10, "ok": 10 - failed, "failed": failed,
+                 "degraded": 0},
+        "metrics": {"q": snap(100, 400, 512), "t": snap(4.5, 12, 19),
+                    "m": snap(300, 900, 1200)},
+        "by_label": {label: {"runs": 10, "ok": 10 - failed,
+                             "failed": failed, "degraded": 0,
+                             "q": snap(100, 400, 512),
+                             "t": snap(4.5, 12, 19),
+                             "m": snap(300, 900, 1200)}},
+        "worst": {"max_q": {"index": 3, "seed": 4, "q": 512},
+                  "failure_count": failed,
+                  "failures": [{"index": 7, "seed": 8, "label": label,
+                                "detail": "agreement violated"}][:failed]},
+    }
+
+
+def make_events():
+    events = [
+        {"ev": "campaign_started", "campaign": "chaos", "total": 2,
+         "seed_base": 1},
+        {"ev": "run_started", "run": 0, "seed": 1},
+        {"ev": "run_finished", "run": 0, "seed": 1, "label": "crash_one",
+         "status": "ok", "q": 100, "t": 4.0, "m": 300, "wall_ms": 2.5},
+        {"ev": "run_started", "run": 1, "seed": 2},
+        {"ev": "run_failed", "run": 1, "seed": 2, "label": "crash_one",
+         "status": "failed", "q": 512, "t": 19.0, "m": 1200,
+         "wall_ms": 9.75, "detail": "agreement violated"},
+        {"ev": "repro", "protocol": "crash_one", "seed": 2,
+         "violation": "agreement", "shrink_runs": 12,
+         "command": "asyncdr_cli chaos --seeds 1 --seed-base 2"},
+        {"ev": "campaign_finished", "campaign": "chaos", "total": 2,
+         "ok": 1, "failed": 1, "degraded": 0},
+    ]
+    for i, ev in enumerate(events):
+        ev["seq"] = i
+        ev["ts_ms"] = 10.0 * i
+    return events
+
+
+class CampaignReportTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory(prefix="campaign-report-test-")
+        self.addCleanup(self.dir.cleanup)
+
+    def path(self, name, doc):
+        p = os.path.join(self.dir.name, name)
+        with open(p, "w", encoding="utf-8") as f:
+            if isinstance(doc, str):
+                f.write(doc)
+            elif isinstance(doc, list):
+                for ev in doc:
+                    f.write(json.dumps(ev) + "\n")
+            else:
+                json.dump(doc, f)
+        return p
+
+    def run_tool(self, *args):
+        proc = subprocess.run(
+            [sys.executable, TOOL, *args],
+            capture_output=True, text=True, check=False)
+        return proc.returncode, proc.stdout, proc.stderr
+
+    def test_md_report_has_percentile_and_label_tables(self):
+        summary = self.path("s.json", make_summary())
+        code, out, _ = self.run_tool(summary, "--format", "md")
+        self.assertEqual(code, 0, out)
+        self.assertIn("## Campaign `chaos`", out)
+        self.assertIn("| metric | count | min | p50 | p90 | p99 |", out)
+        # Q row with integral values rendered without a decimal point.
+        self.assertIn("| q | 10 | 100 | 100 | 400 | 512 | 512 |", out)
+        self.assertIn("### Per-label breakdown", out)
+        self.assertIn("| crash_one | 10 |", out)
+        self.assertIn("Worst run by Q: index 3, seed 4, Q=512", out)
+
+    def test_md_report_lists_failures(self):
+        summary = self.path("s.json", make_summary(failed=1))
+        code, out, _ = self.run_tool(summary, "--format", "md")
+        self.assertEqual(code, 0, out)
+        self.assertIn("### Failures (1)", out)
+        self.assertIn("run 7 seed 8 [crash_one]: agreement violated", out)
+
+    def test_event_stream_digest_in_md(self):
+        summary = self.path("s.json", make_summary())
+        events = self.path("e.jsonl", make_events())
+        code, out, _ = self.run_tool(summary, "--events", events,
+                                     "--format", "md")
+        self.assertEqual(code, 0, out)
+        self.assertIn("### Slowest runs", out)
+        self.assertIn("| 1 | 2 | crash_one | 9.75 |", out)
+        self.assertIn("asyncdr_cli chaos --seeds 1 --seed-base 2", out)
+        self.assertIn("Event stream: 60 ms span", out)
+
+    def test_html_report_is_self_contained(self):
+        summary = self.path("s.json", make_summary())
+        code, out, _ = self.run_tool(summary, "--format", "html")
+        self.assertEqual(code, 0, out)
+        self.assertTrue(out.startswith("<!doctype html>"))
+        self.assertIn("<style>", out)
+        self.assertIn("Distribution percentiles", out)
+        self.assertIn("<td>512</td>", out)
+        # No external assets: a CI artifact must render offline.
+        self.assertNotIn("src=", out)
+        self.assertNotIn("href=", out)
+
+    def test_html_escapes_labels_and_details(self):
+        doc = make_summary(failed=1, label="<script>alert(1)</script>")
+        summary = self.path("s.json", doc)
+        code, out, _ = self.run_tool(summary, "--format", "html")
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("<script>alert", out)
+        self.assertIn("&lt;script&gt;", out)
+
+    def test_multiple_summaries_render_multiple_sections(self):
+        a = self.path("a.json", make_summary(campaign="chaos"))
+        b = self.path("b.json", make_summary(campaign="recovery"))
+        code, out, _ = self.run_tool(a, b, "--format", "md")
+        self.assertEqual(code, 0, out)
+        self.assertIn("## Campaign `chaos`", out)
+        self.assertIn("## Campaign `recovery`", out)
+
+    def test_out_writes_file(self):
+        summary = self.path("s.json", make_summary())
+        target = os.path.join(self.dir.name, "report.html")
+        code, out, err = self.run_tool(summary, "--out", target)
+        self.assertEqual(code, 0, out)
+        self.assertIn("wrote html report", err)
+        with open(target, encoding="utf-8") as f:
+            self.assertIn("Distribution percentiles", f.read())
+
+    def test_timing_section_is_rendered_when_present(self):
+        doc = make_summary()
+        doc["timing"] = {"wall_ms_total": 1234.5, "rss_mb_final": 87}
+        summary = self.path("s.json", doc)
+        code, out, _ = self.run_tool(summary, "--format", "md")
+        self.assertEqual(code, 0, out)
+        self.assertIn("machine-dependent", out)
+        self.assertIn("1234", out)
+
+    def test_more_events_than_summaries_is_usage_error(self):
+        summary = self.path("s.json", make_summary())
+        events = self.path("e.jsonl", make_events())
+        code, _, err = self.run_tool(summary, "--events", events,
+                                     "--events", events)
+        self.assertEqual(code, 2)
+        self.assertIn("more --events", err)
+
+    def test_wrong_schema_is_usage_error(self):
+        doc = make_summary()
+        doc["schema"] = "v999"
+        summary = self.path("s.json", doc)
+        code, _, err = self.run_tool(summary)
+        self.assertEqual(code, 2)
+        self.assertIn("asyncdr-campaign-v1", err)
+
+    def test_malformed_summary_is_usage_error(self):
+        summary = self.path("s.json", "{broken")
+        code, _, err = self.run_tool(summary)
+        self.assertEqual(code, 2)
+        self.assertIn("cannot read", err)
+
+
+if __name__ == "__main__":
+    unittest.main()

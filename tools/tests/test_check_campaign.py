@@ -1,0 +1,222 @@
+"""Unit tests for tools/check_campaign.py.
+
+The validator is exercised as a subprocess (same idiom as
+test_compare_bench.py) to pin the exit-status contract CI relies on:
+0 = valid stream, 1 = invalid, 2 = usage/parse error. Each test builds a
+well-formed stream and then breaks exactly one invariant, so a failure
+names the check that regressed.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TOOL = os.path.join(TOOLS_DIR, "check_campaign.py")
+
+
+def make_events(total=3, campaign="c", statuses=None):
+    """A valid stream: started, (run_started, terminal) per run, finished."""
+    statuses = statuses or ["ok"] * total
+    events = [{"ev": "campaign_started", "campaign": campaign,
+               "total": total, "seed_base": 1}]
+    for run in range(total):
+        events.append({"ev": "run_started", "run": run, "seed": run + 1})
+        status = statuses[run]
+        term = {"ev": "run_failed" if status == "failed" else "run_finished",
+                "run": run, "seed": run + 1, "label": "l", "status": status,
+                "q": 100, "t": 4.0, "m": 50, "wall_ms": 1.5}
+        if status == "failed":
+            term["detail"] = "boom"
+        events.append(term)
+    events.append({"ev": "campaign_finished", "campaign": campaign,
+                   "total": total,
+                   "ok": statuses.count("ok"),
+                   "failed": statuses.count("failed"),
+                   "degraded": statuses.count("degraded")})
+    for i, ev in enumerate(events):
+        ev.setdefault("seq", i)
+        ev.setdefault("ts_ms", float(i))
+    return events
+
+
+def make_summary(total=3, campaign="c", ok=None, failed=0, degraded=0):
+    return {"schema": "asyncdr-campaign-v1", "campaign": campaign,
+            "total": total, "seed_base": 1,
+            "runs": {"total": total,
+                     "ok": total - failed - degraded if ok is None else ok,
+                     "failed": failed, "degraded": degraded}}
+
+
+class CheckCampaignTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory(prefix="check-campaign-test-")
+        self.addCleanup(self.dir.cleanup)
+
+    def write_events(self, events, name="events.jsonl"):
+        p = os.path.join(self.dir.name, name)
+        with open(p, "w", encoding="utf-8") as f:
+            if isinstance(events, str):
+                f.write(events)
+            else:
+                for ev in events:
+                    f.write(json.dumps(ev) + "\n")
+        return p
+
+    def write_summary(self, doc, name="summary.json"):
+        p = os.path.join(self.dir.name, name)
+        with open(p, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        return p
+
+    def run_tool(self, *args):
+        proc = subprocess.run(
+            [sys.executable, TOOL, *args],
+            capture_output=True, text=True, check=False)
+        return proc.returncode, proc.stdout, proc.stderr
+
+    def test_valid_stream_passes(self):
+        path = self.write_events(make_events())
+        code, out, _ = self.run_tool(path)
+        self.assertEqual(code, 0, out)
+        self.assertIn("0 problem(s)", out)
+        self.assertIn("3 ok / 0 failed / 0 degraded", out)
+
+    def test_mixed_statuses_are_counted(self):
+        path = self.write_events(
+            make_events(statuses=["ok", "failed", "degraded"]))
+        code, out, _ = self.run_tool(path)
+        self.assertEqual(code, 0, out)
+        self.assertIn("1 ok / 1 failed / 1 degraded", out)
+
+    def test_matching_summary_passes(self):
+        path = self.write_events(make_events())
+        summary = self.write_summary(make_summary())
+        code, out, _ = self.run_tool(path, "--summary", summary)
+        self.assertEqual(code, 0, out)
+
+    def test_seq_gap_is_invalid(self):
+        events = make_events()
+        events[2]["seq"] = 99
+        code, out, _ = self.run_tool(self.write_events(events))
+        self.assertEqual(code, 1)
+        self.assertIn("not contiguous", out)
+
+    def test_ts_regression_is_invalid(self):
+        events = make_events()
+        events[3]["ts_ms"] = 0.0
+        code, out, _ = self.run_tool(self.write_events(events))
+        self.assertEqual(code, 1)
+        self.assertIn("monotone", out)
+
+    def test_truncated_stream_is_invalid(self):
+        events = make_events()[:-1]
+        code, out, _ = self.run_tool(self.write_events(events))
+        self.assertEqual(code, 1)
+        self.assertIn("not campaign_finished", out)
+
+    def test_unknown_event_kind_is_invalid(self):
+        events = make_events()
+        events.insert(2, {"ev": "mystery", "seq": 0, "ts_ms": 1.0})
+        for i, ev in enumerate(events):
+            ev["seq"] = i
+        code, out, _ = self.run_tool(self.write_events(events))
+        self.assertEqual(code, 1)
+        self.assertIn("unknown event kind 'mystery'", out)
+
+    def test_missing_required_field_is_invalid(self):
+        events = make_events()
+        del events[2]["wall_ms"]
+        code, out, _ = self.run_tool(self.write_events(events))
+        self.assertEqual(code, 1)
+        self.assertIn("missing field 'wall_ms'", out)
+
+    def test_run_started_twice_is_invalid(self):
+        events = make_events(total=2)
+        events[3] = dict(events[1], seq=3, ts_ms=3.0)  # run 0 starts again
+        code, out, _ = self.run_tool(self.write_events(events))
+        self.assertEqual(code, 1)
+        self.assertIn("started twice", out)
+
+    def test_run_never_finished_is_invalid(self):
+        events = [ev for ev in make_events(total=3)
+                  if not (ev["ev"] == "run_finished" and ev["run"] == 1)]
+        for i, ev in enumerate(events):
+            ev["seq"] = i
+        # campaign_finished still claims 3 ok: both checks should fire.
+        code, out, _ = self.run_tool(self.write_events(events))
+        self.assertEqual(code, 1)
+        self.assertIn("never finished", out)
+
+    def test_run_failed_with_ok_status_is_invalid(self):
+        events = make_events(statuses=["ok", "failed", "ok"])
+        for ev in events:
+            if ev["ev"] == "run_failed":
+                ev["status"] = "ok"
+        code, out, _ = self.run_tool(self.write_events(events))
+        self.assertEqual(code, 1)
+        self.assertIn("run_failed carries status 'ok'", out)
+
+    def test_finished_counts_mismatch_is_invalid(self):
+        events = make_events()
+        events[-1]["ok"] = 99
+        code, out, _ = self.run_tool(self.write_events(events))
+        self.assertEqual(code, 1)
+        self.assertIn("campaign_finished.ok", out)
+
+    def test_shrink_and_repro_events_are_known(self):
+        events = make_events()
+        tail = events.pop()
+        events.append({"ev": "shrink_step", "protocol": "p", "seed": 7,
+                       "dimension": "n_cap", "value": 8, "shrink_runs": 3})
+        events.append({"ev": "repro", "protocol": "p", "seed": 7,
+                       "violation": "agreement", "shrink_runs": 5,
+                       "command": "asyncdr_cli chaos --seeds 1"})
+        events.append(tail)
+        for i, ev in enumerate(events):
+            ev["seq"] = i
+            ev["ts_ms"] = float(i)
+        code, out, _ = self.run_tool(self.write_events(events))
+        self.assertEqual(code, 0, out)
+
+    def test_summary_count_mismatch_is_invalid(self):
+        path = self.write_events(make_events())
+        summary = self.write_summary(make_summary(ok=1, failed=2))
+        code, out, _ = self.run_tool(path, "--summary", summary)
+        self.assertEqual(code, 1)
+        self.assertIn("summary runs.ok", out)
+
+    def test_summary_wrong_schema_is_invalid(self):
+        path = self.write_events(make_events())
+        doc = make_summary()
+        doc["schema"] = "v999"
+        code, out, _ = self.run_tool(path, "--summary",
+                                     self.write_summary(doc))
+        self.assertEqual(code, 1)
+        self.assertIn("asyncdr-campaign-v1", out)
+
+    def test_non_json_line_is_invalid(self):
+        events = make_events()
+        raw = "\n".join(json.dumps(ev) for ev in events[:-1])
+        raw += "\n{broken\n" + json.dumps(events[-1]) + "\n"
+        code, out, _ = self.run_tool(self.write_events(raw))
+        self.assertEqual(code, 1)
+        self.assertIn("not valid JSON", out)
+
+    def test_empty_stream_is_invalid(self):
+        code, out, _ = self.run_tool(self.write_events(""))
+        self.assertEqual(code, 1)
+        self.assertIn("stream is empty", out)
+
+    def test_missing_file_is_usage_error(self):
+        code, _, err = self.run_tool(
+            os.path.join(self.dir.name, "nope.jsonl"))
+        self.assertEqual(code, 2)
+        self.assertIn("cannot read", err)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -183,6 +183,47 @@ class CompareBenchTest(unittest.TestCase):
         self.assertEqual(code, 0, out)
         self.assertIn("0 problem(s)", out)
 
+    def test_percentile_tails_get_a_wider_gate(self):
+        # q_p99 is scaled 2x: a 45% delta passes the default 25% base
+        # tolerance (resolved gate 50%) while q_mean at 45% would fail.
+        def e(p99):
+            d = entry(q=100.0)
+            d["q_p99"] = p99
+            return d
+        base = self.path("base.json", bench_doc([e(100.0)]))
+        fresh = self.path("fresh.json", bench_doc([e(145.0)]))
+        code, out, _ = self.run_tool(base, fresh)
+        self.assertEqual(code, 0, out)
+        fresh_bad = self.path("fresh_bad.json", bench_doc([e(160.0)]))
+        code, out, _ = self.run_tool(base, fresh_bad)
+        self.assertEqual(code, 1)
+        self.assertIn("q_p99", out)
+
+    def test_metric_tolerance_override_wins(self):
+        def e(p99):
+            d = entry(q=100.0)
+            d["q_p99"] = p99
+            return d
+        base = self.path("base.json", bench_doc([e(100.0)]))
+        fresh = self.path("fresh.json", bench_doc([e(145.0)]))
+        # Tightened override turns the previously passing delta into a
+        # regression; a generous one lets a huge delta through.
+        code, out, _ = self.run_tool(base, fresh,
+                                     "--metric-tolerance", "q_p99=0.1")
+        self.assertEqual(code, 1)
+        self.assertIn("q_p99", out)
+        code, out, _ = self.run_tool(base, fresh,
+                                     "--metric-tolerance", "q_p99=5.0")
+        self.assertEqual(code, 0, out)
+
+    def test_unknown_metric_tolerance_name_is_usage_error(self):
+        base = self.path("base.json", bench_doc([entry()]))
+        fresh = self.path("fresh.json", bench_doc([entry()]))
+        code, _, err = self.run_tool(base, fresh,
+                                     "--metric-tolerance", "nope=0.5")
+        self.assertEqual(code, 2)
+        self.assertIn("bad --metric-tolerance", err)
+
     def test_malformed_json_is_usage_error(self):
         base = self.path("base.json", "{not json")
         fresh = self.path("fresh.json", bench_doc([entry()]))
